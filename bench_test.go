@@ -1,0 +1,389 @@
+package tcpstall_test
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// ablations over the design parameters DESIGN.md calls out. Each
+// iteration regenerates the experiment end to end (workload →
+// simulation → trace → TAPO analysis → aggregation) at a reduced
+// flow count, so the benchmarks double as a repeatable regression
+// harness for the whole pipeline:
+//
+//	go test -bench=. -benchmem
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"tcpstall/internal/core"
+	"tcpstall/internal/experiments"
+	"tcpstall/internal/mitigation"
+	"tcpstall/internal/tcpsim"
+	"tcpstall/internal/workload"
+)
+
+const benchFlows = 60
+
+var (
+	benchOnce sync.Once
+	benchDS   []*experiments.Dataset
+)
+
+// datasets builds the shared evaluation dataset once; the per-table
+// benchmarks then measure the aggregation work.
+func datasets(b *testing.B) []*experiments.Dataset {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchDS = experiments.BuildAll(experiments.Options{Seed: 20141222, FlowsOverride: benchFlows})
+	})
+	return benchDS
+}
+
+// BenchmarkDatasetGeneration measures the full pipeline for one
+// service: workload draw, packet-level simulation and TAPO analysis.
+func BenchmarkDatasetGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.BuildDataset(workload.WebSearch(), int64(i+1), 20)
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	ds := datasets(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Table1(ds)
+	}
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	ds := datasets(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure1(ds)
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Figure2(int64(i + 1))
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	ds := datasets(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure3(ds)
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	ds := datasets(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Table3(ds)
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	ds := datasets(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Table4(ds)
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	ds := datasets(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Table5(ds)
+	}
+}
+
+func BenchmarkTable6(b *testing.B) {
+	ds := datasets(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Table6(ds)
+	}
+}
+
+func BenchmarkTable7(b *testing.B) {
+	ds := datasets(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Table7(ds)
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	ds := datasets(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure6(ds)
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	ds := datasets(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure7(ds)
+	}
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	ds := datasets(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure10(ds)
+	}
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	ds := datasets(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure11(ds)
+	}
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	ds := datasets(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure12(ds)
+	}
+}
+
+func BenchmarkTable8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table8(int64(i+1), 40, 40)
+	}
+}
+
+func BenchmarkTable9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table9(int64(i+1), 40, 20)
+	}
+}
+
+// --- ablations (DESIGN.md §5) ---
+
+// ablationRun evaluates one S-RTO configuration over the short-flow
+// workload and reports mean latency via b.ReportMetric.
+func ablationRun(b *testing.B, cfg mitigation.SRTOConfig) {
+	b.Helper()
+	var totalMS float64
+	var n int
+	for i := 0; i < b.N; i++ {
+		res := workload.Generate(workload.CloudStorageShort(), int64(i+1), workload.GenOptions{
+			Flows:      30,
+			SkipTraces: true,
+			NewRecovery: func() tcpsim.Recovery {
+				return mitigation.NewSRTO(cfg)
+			},
+		})
+		for _, r := range res {
+			if r.Metrics.Done {
+				totalMS += float64(r.Metrics.FlowLatency().Milliseconds())
+				n++
+			}
+		}
+	}
+	if n > 0 {
+		b.ReportMetric(totalMS/float64(n), "ms/flow")
+	}
+}
+
+func BenchmarkAblationSRTOT1_5(b *testing.B) {
+	ablationRun(b, mitigation.SRTOConfig{T1: 5, T2: 5})
+}
+
+func BenchmarkAblationSRTOT1_10(b *testing.B) {
+	ablationRun(b, mitigation.SRTOConfig{T1: 10, T2: 5})
+}
+
+func BenchmarkAblationSRTOT1_20(b *testing.B) {
+	ablationRun(b, mitigation.SRTOConfig{T1: 20, T2: 5})
+}
+
+func BenchmarkAblationSRTOT2_1(b *testing.B) {
+	ablationRun(b, mitigation.SRTOConfig{T1: 10, T2: 1})
+}
+
+func BenchmarkAblationSRTOT2_10(b *testing.B) {
+	ablationRun(b, mitigation.SRTOConfig{T1: 10, T2: 10})
+}
+
+func BenchmarkAblationSRTOMult15(b *testing.B) {
+	ablationRun(b, mitigation.SRTOConfig{T1: 10, T2: 5, RTTMultiple: 1.5})
+}
+
+func BenchmarkAblationSRTOMult3(b *testing.B) {
+	ablationRun(b, mitigation.SRTOConfig{T1: 10, T2: 5, RTTMultiple: 3})
+}
+
+// BenchmarkAblationTau compares the stall-detection threshold
+// multiplier τ (the paper uses 2).
+func BenchmarkAblationTau(b *testing.B) {
+	for _, tau := range []float64{1.5, 2, 3} {
+		tau := tau
+		b.Run(tauName(tau), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Tau = tau
+			var stalls int
+			for i := 0; i < b.N; i++ {
+				res := workload.Generate(workload.WebSearch(), int64(i+1), workload.GenOptions{Flows: 20})
+				for _, r := range res {
+					if r.Flow != nil {
+						stalls += len(core.Analyze(r.Flow, cfg).Stalls)
+					}
+				}
+			}
+			b.ReportMetric(float64(stalls)/float64(b.N), "stalls/run")
+		})
+	}
+}
+
+func tauName(tau float64) string {
+	switch tau {
+	case 1.5:
+		return "tau=1.5"
+	case 2:
+		return "tau=2"
+	default:
+		return "tau=3"
+	}
+}
+
+// BenchmarkAblationDupThresh compares the adaptive reordering
+// threshold against the fixed value of 3 on a reordering path.
+func BenchmarkAblationDupThresh(b *testing.B) {
+	for _, adapt := range []bool{false, true} {
+		adapt := adapt
+		name := "fixed"
+		if adapt {
+			name = "adaptive"
+		}
+		b.Run(name, func(b *testing.B) {
+			var retrans int
+			for i := 0; i < b.N; i++ {
+				svc := workload.WebSearch()
+				svc.ReorderProb = 0.05
+				res := workload.Generate(svc, int64(i+1), workload.GenOptions{
+					Flows:      20,
+					SkipTraces: true,
+					Mutate: func(c *tcpsim.ConnConfig) {
+						c.Sender.AdaptDupThresh = adapt
+					},
+				})
+				for _, r := range res {
+					retrans += r.Metrics.Sender.Retransmissions
+				}
+			}
+			b.ReportMetric(float64(retrans)/float64(b.N), "retrans/run")
+		})
+	}
+}
+
+// BenchmarkAblationDelAckVsMinRTO exercises the delayed-ACK vs
+// min-RTO interaction (the ACK-delay stall cause): latency of a
+// 15-segment flow as the client's delack timer crosses the RTO.
+func BenchmarkAblationDelAckVsMinRTO(b *testing.B) {
+	for _, delack := range []time.Duration{40 * time.Millisecond, 200 * time.Millisecond, 500 * time.Millisecond} {
+		delack := delack
+		b.Run(delack.String(), func(b *testing.B) {
+			var totalMS float64
+			var n int
+			for i := 0; i < b.N; i++ {
+				svc := workload.WebSearch()
+				svc.DelAck = []workload.WeightedDur{{Value: delack, Weight: 1}}
+				res := workload.Generate(svc, int64(i+1), workload.GenOptions{Flows: 20, SkipTraces: true})
+				for _, r := range res {
+					if r.Metrics.Done {
+						totalMS += float64(r.Metrics.FlowLatency().Milliseconds())
+						n++
+					}
+				}
+			}
+			if n > 0 {
+				b.ReportMetric(totalMS/float64(n), "ms/flow")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCongestionControl compares Reno-style congestion
+// avoidance (the evaluation's default, matching the paper's Section
+// 3.1 description) against CUBIC (the 2.6.32 kernel's actual
+// default) on the cloud-storage workload.
+func BenchmarkAblationCongestionControl(b *testing.B) {
+	for _, name := range []string{"reno", "cubic"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			var totalMS float64
+			var n int
+			for i := 0; i < b.N; i++ {
+				res := workload.Generate(workload.CloudStorage(), int64(i+1), workload.GenOptions{
+					Flows:      15,
+					SkipTraces: true,
+					Mutate: func(c *tcpsim.ConnConfig) {
+						if name == "cubic" {
+							c.Sender.CC = tcpsim.NewCubic()
+						}
+					},
+				})
+				for _, r := range res {
+					if r.Metrics.Done {
+						totalMS += float64(r.Metrics.FlowLatency().Milliseconds())
+						n++
+					}
+				}
+			}
+			if n > 0 {
+				b.ReportMetric(totalMS/float64(n), "ms/flow")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPacing reproduces the Section-4.3 suggestion:
+// pacing a window across the RTT reduces the burst losses behind
+// continuous-loss stalls at shallow bottleneck queues.
+func BenchmarkAblationPacing(b *testing.B) {
+	for _, pacing := range []bool{false, true} {
+		pacing := pacing
+		name := "burst"
+		if pacing {
+			name = "paced"
+		}
+		b.Run(name, func(b *testing.B) {
+			var contLoss, rtos int
+			for i := 0; i < b.N; i++ {
+				svc := workload.CloudStorage()
+				svc.QueueLimit = 20 // shallow buffer
+				res := workload.Generate(svc, int64(i+1), workload.GenOptions{
+					Flows: 10,
+					Mutate: func(c *tcpsim.ConnConfig) {
+						c.Sender.Pacing = pacing
+					},
+				})
+				for _, r := range res {
+					if r.Flow == nil {
+						continue
+					}
+					rtos += r.Metrics.Sender.RTOFirings
+					a := core.Analyze(r.Flow, core.DefaultConfig())
+					for _, st := range a.Stalls {
+						if st.RetransCause == core.RetransContinuousLoss {
+							contLoss++
+						}
+					}
+				}
+			}
+			b.ReportMetric(float64(contLoss)/float64(b.N), "contloss/run")
+			b.ReportMetric(float64(rtos)/float64(b.N), "rto/run")
+		})
+	}
+}

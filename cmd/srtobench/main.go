@@ -1,0 +1,158 @@
+// Command srtobench is the mitigation A/B harness: it runs a service
+// workload under native Linux recovery, TLP and S-RTO with identical
+// seeds and reports latency quantiles and retransmission overhead
+// (Tables 8 and 9), plus optional S-RTO parameter sweeps for the
+// ablations discussed in DESIGN.md.
+//
+// Usage:
+//
+//	srtobench [-flows N] [-seed N]
+//	srtobench -sweep t1     # T1 activation-threshold sweep
+//	srtobench -sweep t2     # cwnd-halving-guard sweep
+//	srtobench -sweep mult   # probe-timer multiple sweep
+//	srtobench -all          # all five strategies incl. TCP-NCL, Early Retransmit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tcpstall/internal/experiments"
+	"tcpstall/internal/mitigation"
+	"tcpstall/internal/stats"
+	"tcpstall/internal/tcpsim"
+	"tcpstall/internal/workload"
+)
+
+func main() {
+	flows := flag.Int("flows", 400, "flows per strategy")
+	seed := flag.Int64("seed", 777, "RNG seed")
+	sweep := flag.String("sweep", "", "ablation sweep: t1 | t2 | mult")
+	all := flag.Bool("all", false, "compare all five strategies (native, ER, TLP, TCP-NCL, S-RTO)")
+	flag.Parse()
+
+	if *all {
+		compareAll(*seed, *flows)
+		return
+	}
+
+	switch *sweep {
+	case "":
+		_, t8 := experiments.Table8(*seed, *flows, *flows)
+		fmt.Println(t8)
+		_, t9 := experiments.Table9(*seed, *flows, *flows/2)
+		fmt.Println(t9)
+		_, fr := experiments.FloorRegimeComparison(*seed, *flows)
+		fmt.Println(fr)
+		_, tp := experiments.LargeFlowThroughput(*seed, *flows/2)
+		fmt.Println(tp)
+	case "t1":
+		sweepParam("T1", []int{2, 5, 10, 20, 1 << 20}, func(v int) mitigation.SRTOConfig {
+			return mitigation.SRTOConfig{T1: v, T2: 5}
+		}, *seed, *flows)
+	case "t2":
+		sweepParam("T2", []int{1, 3, 5, 10, 1 << 20}, func(v int) mitigation.SRTOConfig {
+			return mitigation.SRTOConfig{T1: 10, T2: v}
+		}, *seed, *flows)
+	case "mult":
+		ms := []float64{1.5, 2, 3, 4}
+		t := stats.NewTable("S-RTO probe-timer multiple sweep (cloud-storage short flows).",
+			"multiple", "mean latency", "p90", "retrans ratio")
+		for _, m := range ms {
+			mean, p90, ratio := runOne(*seed, *flows, mitigation.SRTOConfig{T1: 10, T2: 5, RTTMultiple: m})
+			t.AddRow(fmt.Sprintf("%.1f·RTT", m),
+				fmt.Sprintf("%.0fms", mean), fmt.Sprintf("%.0fms", p90),
+				fmt.Sprintf("%.2f%%", ratio))
+		}
+		fmt.Println(t.String())
+	default:
+		fmt.Fprintf(os.Stderr, "srtobench: unknown sweep %q\n", *sweep)
+		os.Exit(2)
+	}
+}
+
+func sweepParam(name string, values []int, cfg func(int) mitigation.SRTOConfig, seed int64, flows int) {
+	t := stats.NewTable(fmt.Sprintf("S-RTO %s sweep (cloud-storage short flows).", name),
+		name, "mean latency", "p90", "retrans ratio")
+	for _, v := range values {
+		label := fmt.Sprintf("%d", v)
+		if v >= 1<<20 {
+			label = "∞"
+		}
+		mean, p90, ratio := runOne(seed, flows, cfg(v))
+		t.AddRow(label, fmt.Sprintf("%.0fms", mean), fmt.Sprintf("%.0fms", p90),
+			fmt.Sprintf("%.2f%%", ratio))
+	}
+	fmt.Println(t.String())
+}
+
+// compareAll runs all five recovery strategies (the paper's three
+// plus the related-work comparators) on identical short-flow
+// workloads.
+func compareAll(seed int64, flows int) {
+	strategies := []struct {
+		name string
+		make func() tcpsim.Recovery
+	}{
+		{"linux", func() tcpsim.Recovery { return tcpsim.NativeRecovery{} }},
+		{"early-retransmit", func() tcpsim.Recovery { return mitigation.EarlyRetransmit{} }},
+		{"tlp", func() tcpsim.Recovery { return mitigation.NewTLP(mitigation.TLPConfig{}) }},
+		{"tcp-ncl", func() tcpsim.Recovery { return mitigation.NewNCL(mitigation.NCLConfig{}) }},
+		{"srto", func() tcpsim.Recovery { return mitigation.NewSRTO(mitigation.SRTOConfig{T1: 10, T2: 5}) }},
+	}
+	t := stats.NewTable("All strategies on cloud-storage short flows (identical workload).",
+		"strategy", "p50", "p90", "mean", "RTO firings", "retrans ratio")
+	for _, st := range strategies {
+		res := workload.Generate(workload.CloudStorageShort(), seed, workload.GenOptions{
+			Flows:       flows,
+			SkipTraces:  true,
+			NewRecovery: st.make,
+		})
+		lat := stats.NewSample(flows)
+		var rtos int
+		var retrans, total float64
+		for _, r := range res {
+			if !r.Metrics.Done {
+				continue
+			}
+			lat.Add(float64(r.Metrics.FlowLatency().Milliseconds()))
+			rtos += r.Metrics.Sender.RTOFirings
+			retrans += float64(r.Metrics.Sender.Retransmissions)
+			total += float64(r.Metrics.Sender.DataSegmentsSent)
+		}
+		t.AddRow(st.name,
+			fmt.Sprintf("%.0fms", lat.Quantile(0.5)),
+			fmt.Sprintf("%.0fms", lat.Quantile(0.9)),
+			fmt.Sprintf("%.0fms", lat.Mean()),
+			fmt.Sprintf("%d", rtos),
+			fmt.Sprintf("%.2f%%", 100*retrans/total))
+	}
+	fmt.Println(t.String())
+}
+
+// runOne evaluates one S-RTO configuration on the cloud-storage
+// short-flow population.
+func runOne(seed int64, flows int, cfg mitigation.SRTOConfig) (meanMS, p90MS, retransPct float64) {
+	res := workload.Generate(workload.CloudStorageShort(), seed, workload.GenOptions{
+		Flows:      flows,
+		SkipTraces: true,
+		NewRecovery: func() tcpsim.Recovery {
+			return mitigation.NewSRTO(cfg)
+		},
+	})
+	lat := stats.NewSample(len(res))
+	var retrans, total float64
+	for _, r := range res {
+		if !r.Metrics.Done {
+			continue
+		}
+		lat.Add(float64(r.Metrics.FlowLatency().Milliseconds()))
+		retrans += float64(r.Metrics.Sender.Retransmissions)
+		total += float64(r.Metrics.Sender.DataSegmentsSent)
+	}
+	if total == 0 {
+		total = 1
+	}
+	return lat.Mean(), lat.Quantile(0.9), 100 * retrans / total
+}

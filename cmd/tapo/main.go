@@ -1,0 +1,202 @@
+// Command tapo is the TCP stall diagnosis tool of the paper: it reads
+// server-side packet captures (classic .pcap), reconstructs every
+// flow's congestion state, detects stalls — gaps exceeding
+// min(2·SRTT, RTO) — and classifies each stall's root cause with the
+// Figure-5 decision tree plus the Table-5 retransmission breakdown.
+//
+// Usage:
+//
+//	tapo [-port N] [-v] capture.pcap
+//	tapo -demo              # run on a freshly synthesized trace
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tcpstall/internal/core"
+	"tcpstall/internal/stats"
+	"tcpstall/internal/trace"
+	"tcpstall/internal/workload"
+)
+
+func main() {
+	port := flag.Uint("port", 80, "server TCP port (identifies direction)")
+	verbose := flag.Bool("v", false, "print every stall of every flow")
+	jsonOut := flag.Bool("json", false, "emit the full analysis as JSON on stdout")
+	demo := flag.Bool("demo", false, "analyze a synthetic web-search trace instead of a file")
+	tau := flag.Float64("tau", 2, "stall threshold multiplier in min(tau*SRTT, RTO)")
+	flag.Parse()
+
+	var flows []*trace.Flow
+	switch {
+	case *demo:
+		fmt.Fprintln(os.Stderr, "synthesizing 80 web-search flows...")
+		for _, r := range workload.Generate(workload.WebSearch(), 42, workload.GenOptions{Flows: 80}) {
+			if r.Flow != nil {
+				flows = append(flows, r.Flow)
+			}
+		}
+	case flag.NArg() == 1:
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		var ierr error
+		flows, ierr = trace.ImportPcap(f, trace.ImportConfig{ServerPort: uint16(*port)})
+		if ierr != nil {
+			fatal(ierr)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: tapo [-port N] [-v] capture.pcap | tapo -demo")
+		os.Exit(2)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Tau = *tau
+	var analyses []*core.FlowAnalysis
+	for _, fl := range flows {
+		a := core.Analyze(fl, cfg)
+		analyses = append(analyses, a)
+		if *verbose && !*jsonOut && len(a.Stalls) > 0 {
+			fmt.Printf("flow %s: %d stalls, %.1f%% of lifetime stalled\n",
+				a.FlowID, len(a.Stalls), 100*a.StalledFraction())
+			for _, st := range a.Stalls {
+				cause := st.Cause.String()
+				if st.Cause == core.CauseTimeoutRetrans {
+					cause += "/" + st.RetransCause.String()
+					if st.RetransCause == core.RetransDouble {
+						cause += "(" + st.DoubleKind.String() + ")"
+					}
+				}
+				fmt.Printf("  %9.3fs +%6.0fms  %-32s state=%v in_flight=%d rwnd=%d\n",
+					st.Start.Seconds(), float64(st.Duration)/float64(time.Millisecond),
+					cause, st.CaState, st.InFlight, st.Rwnd)
+			}
+		}
+	}
+
+	if *jsonOut {
+		if err := emitJSON(os.Stdout, analyses); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	report(analyses)
+}
+
+// jsonStall is the machine-readable stall record.
+type jsonStall struct {
+	StartMS    float64 `json:"start_ms"`
+	DurationMS float64 `json:"duration_ms"`
+	Cause      string  `json:"cause"`
+	Retrans    string  `json:"retrans_cause,omitempty"`
+	DoubleKind string  `json:"double_kind,omitempty"`
+	CaState    string  `json:"ca_state"`
+	InFlight   int     `json:"in_flight"`
+	Rwnd       int     `json:"rwnd"`
+}
+
+// jsonFlow is the machine-readable per-flow analysis.
+type jsonFlow struct {
+	ID            string      `json:"id"`
+	Service       string      `json:"service,omitempty"`
+	DataBytes     int64       `json:"data_bytes"`
+	DataPackets   int         `json:"data_packets"`
+	Retrans       int         `json:"retransmissions"`
+	AvgRTTms      float64     `json:"avg_rtt_ms"`
+	AvgRTOms      float64     `json:"avg_rto_ms,omitempty"`
+	InitRwnd      int         `json:"init_rwnd"`
+	ZeroRwnd      bool        `json:"zero_rwnd_seen"`
+	TransmissionS float64     `json:"transmission_s"`
+	StalledS      float64     `json:"stalled_s"`
+	Stalls        []jsonStall `json:"stalls"`
+}
+
+func emitJSON(w *os.File, analyses []*core.FlowAnalysis) error {
+	out := make([]jsonFlow, 0, len(analyses))
+	for _, a := range analyses {
+		jf := jsonFlow{
+			ID:            a.FlowID,
+			Service:       a.Service,
+			DataBytes:     a.DataBytes,
+			DataPackets:   a.DataPackets,
+			Retrans:       a.RetransPackets,
+			AvgRTTms:      a.AvgRTT(),
+			AvgRTOms:      a.AvgRTO(),
+			InitRwnd:      a.InitRwnd,
+			ZeroRwnd:      a.ZeroRwndSeen,
+			TransmissionS: a.TransmissionTime.Seconds(),
+			StalledS:      a.TotalStallTime.Seconds(),
+			Stalls:        []jsonStall{},
+		}
+		for _, st := range a.Stalls {
+			js := jsonStall{
+				StartMS:    st.Start.Milliseconds(),
+				DurationMS: float64(st.Duration) / float64(time.Millisecond),
+				Cause:      st.Cause.String(),
+				CaState:    st.CaState.String(),
+				InFlight:   st.InFlight,
+				Rwnd:       st.Rwnd,
+			}
+			if st.Cause == core.CauseTimeoutRetrans {
+				js.Retrans = st.RetransCause.String()
+				if st.RetransCause == core.RetransDouble {
+					js.DoubleKind = st.DoubleKind.String()
+				}
+			}
+			jf.Stalls = append(jf.Stalls, js)
+		}
+		out = append(out, jf)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func report(analyses []*core.FlowAnalysis) {
+	r := core.NewReport(analyses)
+	fmt.Printf("\n%d flows, %d stalled (%.1f%%), %d stalls, %.1fs total stall time\n",
+		r.Flows, r.FlowsStalled, 100*float64(r.FlowsStalled)/float64(max(r.Flows, 1)),
+		r.TotalStalls, r.TotalStallTime.Seconds())
+
+	t := stats.NewTable("\nStall causes:", "category", "cause", "# %", "time %")
+	for _, c := range []core.Cause{
+		core.CauseDataUnavailable, core.CauseResourceConstraint,
+		core.CauseClientIdle, core.CauseZeroWindow,
+		core.CausePacketDelay, core.CauseTimeoutRetrans, core.CauseUndetermined,
+	} {
+		t.AddRow(core.CategoryOf(c).String(), c.String(),
+			stats.Percent(r.CausePctCount(c)), stats.Percent(r.CausePctTime(c)))
+	}
+	fmt.Println(t.String())
+
+	if r.CountByCause[core.CauseTimeoutRetrans] > 0 {
+		rt := stats.NewTable("Timeout-retransmission breakdown:", "cause", "# %", "time %")
+		for _, c := range []core.RetransCause{
+			core.RetransDouble, core.RetransTail, core.RetransSmallCwnd,
+			core.RetransSmallRwnd, core.RetransContinuousLoss,
+			core.RetransAckDelayLoss, core.RetransUndetermined,
+		} {
+			rt.AddRow(c.String(),
+				stats.Percent(r.RetransPctCount(c)), stats.Percent(r.RetransPctTime(c)))
+		}
+		fmt.Println(rt.String())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tapo:", err)
+	os.Exit(1)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

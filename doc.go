@@ -1,0 +1,21 @@
+// Package tcpstall reproduces "Demystifying and Mitigating TCP
+// Stalls at the Server Side" (Zhou et al., CoNEXT 2015) as a
+// self-contained Go library:
+//
+//   - internal/core — TAPO, the trace-driven stall classifier
+//     (the paper's measurement contribution);
+//   - internal/mitigation — S-RTO (Algorithm 1) with TLP and native
+//     Linux recovery as comparators;
+//   - internal/tcpsim, internal/netem, internal/sim — the simulated
+//     server TCP stack, network paths and discrete-event engine that
+//     stand in for the production testbed;
+//   - internal/packet, internal/pcap, internal/trace — wire-format
+//     codecs so everything runs on real .pcap bytes;
+//   - internal/workload, internal/experiments — the three service
+//     models and the drivers that regenerate every table and figure
+//     of the paper's evaluation.
+//
+// The root package carries the repository-level benchmarks
+// (bench_test.go): one benchmark per table and figure, plus the
+// ablations discussed in DESIGN.md.
+package tcpstall

@@ -1,0 +1,59 @@
+// Quickstart: simulate one TCP flow over a lossy path, capture the
+// server-side trace, and classify its stalls with TAPO.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"tcpstall/internal/core"
+	"tcpstall/internal/netem"
+	"tcpstall/internal/sim"
+	"tcpstall/internal/tcpsim"
+	"tcpstall/internal/trace"
+)
+
+func main() {
+	// 1. A simulator, a bidirectional path with 4% random loss, and
+	//    a connection serving one 200KB response.
+	s := sim.New()
+	rng := sim.NewRNG(1)
+	down := netem.New(s, rng, netem.Config{
+		Delay: 50 * time.Millisecond,
+		Loss:  netem.Bernoulli{P: 0.04},
+	})
+	up := netem.New(s, rng, netem.Config{Delay: 50 * time.Millisecond})
+
+	cfg := tcpsim.ConnConfig{
+		Sender:   tcpsim.DefaultSenderConfig(),   // Linux-2.6.32-style stack
+		Receiver: tcpsim.DefaultReceiverConfig(), // modern desktop client
+		Requests: []tcpsim.Request{{Size: 200_000}},
+	}
+
+	// 2. Capture what tcpdump on the server would see.
+	col := trace.NewCollector("quickstart", "demo")
+	conn := tcpsim.NewLinkedConn(s, cfg, down, up, col)
+	conn.Start()
+	s.Run()
+
+	m := conn.Metrics()
+	fmt.Printf("transfer done=%v latency=%v retransmissions=%d\n",
+		m.Done, m.FlowLatency().Round(time.Millisecond), m.Sender.Retransmissions)
+
+	// 3. Run the TAPO analysis on the trace.
+	a := core.Analyze(col.Flow, core.DefaultConfig())
+	fmt.Printf("trace: %d packets, %d data segments, avg RTT %.0fms\n",
+		len(col.Flow.Records), a.DataPackets, a.AvgRTT())
+	fmt.Printf("stalls: %d (%.1f%% of flow lifetime)\n",
+		len(a.Stalls), 100*a.StalledFraction())
+	for i, st := range a.Stalls {
+		cause := st.Cause.String()
+		if st.Cause == core.CauseTimeoutRetrans {
+			cause += "/" + st.RetransCause.String()
+		}
+		fmt.Printf("  stall %d: at %v for %v — %s (state %v, in_flight %d)\n",
+			i+1, st.Start, st.Duration.Round(time.Millisecond), cause, st.CaState, st.InFlight)
+	}
+}

@@ -1,0 +1,75 @@
+// Stallreport: generate a full service workload (the paper's
+// software-download model, the one richest in client pathologies) and
+// produce the Table-3/Table-5 style stall report, then drill into the
+// most-stalled flow.
+//
+//	go run ./examples/stallreport
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"tcpstall/internal/core"
+	"tcpstall/internal/stats"
+	"tcpstall/internal/workload"
+)
+
+func main() {
+	svc := workload.SoftwareDownload()
+	fmt.Printf("generating %d %s flows...\n", 150, svc.Name)
+	results := workload.Generate(svc, 2014, workload.GenOptions{Flows: 150})
+
+	var analyses []*core.FlowAnalysis
+	var worst *core.FlowAnalysis
+	for _, r := range results {
+		if r.Flow == nil {
+			continue
+		}
+		a := core.Analyze(r.Flow, core.DefaultConfig())
+		analyses = append(analyses, a)
+		if worst == nil || a.TotalStallTime > worst.TotalStallTime {
+			worst = a
+		}
+	}
+
+	rep := core.NewReport(analyses)
+	fmt.Printf("\n%d flows, %d stalled, %d stalls, %s total stall time\n",
+		rep.Flows, rep.FlowsStalled, rep.TotalStalls, rep.TotalStallTime.Round(time.Second))
+
+	t := stats.NewTable("Stall cause breakdown:", "cause", "volume %", "time %")
+	for _, c := range []core.Cause{
+		core.CauseDataUnavailable, core.CauseResourceConstraint,
+		core.CauseClientIdle, core.CauseZeroWindow,
+		core.CausePacketDelay, core.CauseTimeoutRetrans, core.CauseUndetermined,
+	} {
+		t.AddRow(c.String(), stats.Percent(rep.CausePctCount(c)), stats.Percent(rep.CausePctTime(c)))
+	}
+	fmt.Println(t.String())
+
+	rt := stats.NewTable("Retransmission-stall breakdown:", "cause", "volume %", "time %")
+	for _, c := range []core.RetransCause{
+		core.RetransDouble, core.RetransTail, core.RetransSmallCwnd,
+		core.RetransSmallRwnd, core.RetransContinuousLoss,
+		core.RetransAckDelayLoss, core.RetransUndetermined,
+	} {
+		rt.AddRow(c.String(), stats.Percent(rep.RetransPctCount(c)), stats.Percent(rep.RetransPctTime(c)))
+	}
+	fmt.Println(rt.String())
+
+	if worst != nil && len(worst.Stalls) > 0 {
+		fmt.Printf("worst flow %s: stalled %s of %s (%.0f%%)\n",
+			worst.FlowID,
+			worst.TotalStallTime.Round(time.Millisecond),
+			worst.TransmissionTime.Round(time.Millisecond),
+			100*worst.StalledFraction())
+		for _, st := range worst.Stalls {
+			cause := st.Cause.String()
+			if st.Cause == core.CauseTimeoutRetrans {
+				cause += "/" + st.RetransCause.String()
+			}
+			fmt.Printf("  %8.2fs +%6dms  %s\n",
+				st.Start.Seconds(), st.Duration.Milliseconds(), cause)
+		}
+	}
+}

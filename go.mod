@@ -1,0 +1,3 @@
+module tcpstall
+
+go 1.22

@@ -1,0 +1,539 @@
+package core
+
+import (
+	"time"
+
+	"tcpstall/internal/packet"
+	"tcpstall/internal/sim"
+	"tcpstall/internal/tcpsim"
+	"tcpstall/internal/trace"
+)
+
+// Config parameterizes the analysis.
+type Config struct {
+	// Tau is the stall threshold multiplier: a gap is a stall when it
+	// exceeds min(Tau·SRTT, RTO). The paper uses 2.
+	Tau float64
+	// InitCwnd seeds the congestion-window mimic (3, as in the
+	// paper's 2.6.32 kernel).
+	InitCwnd int
+	// MinRTO/MaxRTO/InitRTO mirror RFC 6298 as implemented in Linux.
+	MinRTO  time.Duration
+	MaxRTO  time.Duration
+	InitRTO time.Duration
+	// DupThresh is the fast-retransmit threshold mimic.
+	DupThresh int
+	// SmallInFlight is the "small window" boundary in segments
+	// (4 MSS in the paper).
+	SmallInFlight int
+	// DSACKHorizon bounds how long after a retransmission a DSACK
+	// still marks it spurious.
+	DSACKHorizon time.Duration
+}
+
+// DefaultConfig returns the paper's parameters.
+func DefaultConfig() Config {
+	return Config{
+		Tau:           2,
+		InitCwnd:      3,
+		MinRTO:        200 * time.Millisecond,
+		MaxRTO:        120 * time.Second,
+		InitRTO:       time.Second,
+		DupThresh:     3,
+		SmallInFlight: 4,
+		DSACKHorizon:  2 * time.Second,
+	}
+}
+
+// aSeg is the replayer's per-segment scoreboard entry.
+type aSeg struct {
+	seq     uint32
+	len     int
+	ordinal int
+	sent    int // transmissions seen (1 = original only)
+	sacked  bool
+	acked   bool
+	// firstRetransTimeout records whether the FIRST retransmission
+	// ended a stall (timeout-driven) — the f-double/t-double split.
+	firstRetransTimeout bool
+	lastSent            sim.Time
+	// spuriousAt holds times a DSACK covered this segment.
+	spuriousAt []sim.Time
+}
+
+func (g *aSeg) end() uint32 { return g.seq + uint32(g.len) }
+
+// pendingStall is a detected stall awaiting post-hoc classification.
+type pendingStall struct {
+	stall Stall
+	// retransSegIdx / copiesBefore describe the stall-ending
+	// retransmission, when there is one.
+	retransSegIdx       int
+	copiesBefore        int
+	firstRetransTimeout bool
+	// sackedDuringStall reports whether any SACK progress arrived in
+	// the stall window (continuous-loss test).
+	sackedOutAtStart     int
+	dupacksAtStart       int
+	outstandingAtStart   int
+	segsAboveOutstanding int
+	maxEndAtStall        uint32
+}
+
+// analyzer replays one flow.
+type analyzer struct {
+	cfg  Config
+	flow *trace.Flow
+	mss  int
+
+	segs   []aSeg
+	segIdx map[uint32]int
+
+	haveBase bool
+	base     uint32
+	sndUna   uint32
+	maxEnd   uint32
+
+	dupacks    int
+	dupThresh  int
+	caState    tcpsim.CongState
+	recoverSeq uint32
+
+	cwnd     float64
+	ssthresh float64
+
+	srtt       time.Duration
+	rttvar     time.Duration
+	hasRTT     bool
+	rto        time.Duration
+	rtoBackoff int
+
+	rwnd     int
+	haveRwnd bool
+
+	// respBounds[i] is the stream offset where response i starts.
+	respBounds  []uint32
+	pendingResp int
+
+	lastInT sim.Time
+	prevWnd int
+
+	synackAt  sim.Time
+	rttSeeded bool
+
+	pending []pendingStall
+	out     FlowAnalysis
+}
+
+// Analyze runs TAPO on one flow.
+func Analyze(f *trace.Flow, cfg Config) *FlowAnalysis {
+	if cfg.Tau <= 0 {
+		cfg = DefaultConfig()
+	}
+	mss := f.MSS
+	if mss <= 0 {
+		mss = 1460
+	}
+	a := &analyzer{
+		cfg:       cfg,
+		flow:      f,
+		mss:       mss,
+		segIdx:    make(map[uint32]int),
+		dupThresh: cfg.DupThresh,
+		caState:   tcpsim.StateOpen,
+		cwnd:      float64(cfg.InitCwnd),
+		ssthresh:  1 << 30,
+		rto:       cfg.InitRTO,
+	}
+	a.out.FlowID = f.ID
+	a.out.Service = f.Service
+	a.out.InitRwnd = f.InitRwnd
+	a.replay()
+	a.finalize()
+	return &a.out
+}
+
+// threshold is the stall boundary min(τ·SRTT, RTO).
+func (a *analyzer) threshold() time.Duration {
+	if !a.hasRTT {
+		return a.rto
+	}
+	th := time.Duration(a.cfg.Tau * float64(a.srtt))
+	if a.rto < th {
+		th = a.rto
+	}
+	return th
+}
+
+func (a *analyzer) replay() {
+	recs := a.flow.Records
+	for i := range recs {
+		r := &recs[i]
+		if i > 0 {
+			gap := r.T.Sub(recs[i-1].T)
+			if th := a.threshold(); gap > th {
+				a.onStall(i, recs[i-1].T, r)
+			}
+		}
+		switch r.Dir {
+		case tcpsim.DirOut:
+			a.processOut(r)
+		case tcpsim.DirIn:
+			a.processIn(r)
+		}
+	}
+	if len(recs) > 1 {
+		a.out.TransmissionTime = recs[len(recs)-1].T.Sub(recs[0].T)
+	}
+}
+
+// onStall captures a stall event; classification happens in
+// finalize, once post-hoc facts (response ends, DSACKs, totals) are
+// known. cur is the record ending the stall.
+func (a *analyzer) onStall(endIdx int, start sim.Time, cur *trace.Record) {
+	ps := pendingStall{
+		stall: Stall{
+			Start:      start,
+			End:        cur.T,
+			Duration:   cur.T.Sub(start),
+			EndRecIdx:  endIdx,
+			CaState:    a.caState,
+			InFlight:   a.inFlight(),
+			PacketsOut: a.packetsOut(),
+			Rwnd:       a.rwnd,
+			CwndEst:    int(a.cwnd),
+			Position:   -1,
+		},
+		retransSegIdx:      -1,
+		sackedOutAtStart:   a.sackedOut(),
+		dupacksAtStart:     a.dupacks,
+		outstandingAtStart: a.packetsOut(),
+		maxEndAtStall:      a.maxEnd,
+	}
+	// Is cur_pkt a retransmission of an already-sent segment?
+	if cur.Dir == tcpsim.DirOut && cur.Seg.Len > 0 {
+		if idx, ok := a.segIdx[cur.Seg.Seq]; ok && a.segs[idx].sent >= 1 && !a.segs[idx].acked {
+			g := &a.segs[idx]
+			ps.retransSegIdx = idx
+			ps.copiesBefore = g.sent
+			ps.firstRetransTimeout = g.firstRetransTimeout
+			ps.segsAboveOutstanding = a.segsAbove(g.seq)
+		}
+	}
+	a.pending = append(a.pending, ps)
+}
+
+// segsAbove counts distinct sent, unacked segments strictly above seq.
+func (a *analyzer) segsAbove(seq uint32) int {
+	n := 0
+	for i := range a.segs {
+		g := &a.segs[i]
+		if g.seq > seq && !g.acked {
+			n++
+		}
+	}
+	return n
+}
+
+func (a *analyzer) sackedOut() int {
+	n := 0
+	for i := range a.segs {
+		g := &a.segs[i]
+		if g.sacked && !g.acked {
+			n++
+		}
+	}
+	return n
+}
+
+// packetsOut is snd_nxt − snd_una in segments.
+func (a *analyzer) packetsOut() int {
+	n := 0
+	for i := range a.segs {
+		g := &a.segs[i]
+		if !g.acked && g.sent > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// inFlight evaluates Equation 1 with the replayer's best estimates:
+// packets_out + retrans_out − (sacked_out + lost_out). The replayer
+// approximates lost_out as segments that were retransmitted (known
+// lost) and retrans_out likewise, which cancels; the dominant terms
+// are packets_out − sacked_out.
+func (a *analyzer) inFlight() int {
+	fl := a.packetsOut() - a.sackedOut()
+	if fl < 0 {
+		fl = 0
+	}
+	return fl
+}
+
+func (a *analyzer) processOut(r *trace.Record) {
+	seg := &r.Seg
+	if seg.Len == 0 {
+		if seg.Flags.Has(packet.FlagSYN) {
+			a.synackAt = r.T
+		}
+		return // pure ACK, probe, SYN-ACK, FIN
+	}
+	if !a.haveBase {
+		a.haveBase = true
+		a.base = seg.Seq
+		a.sndUna = seg.Seq
+		a.maxEnd = seg.Seq
+		// The first response starts at the first data byte; requests
+		// seen before any data anchor here too.
+		a.respBounds = append(a.respBounds, seg.Seq)
+		a.pendingResp = 0
+	}
+	idx, seen := a.segIdx[seg.Seq]
+	if !seen {
+		idx = len(a.segs)
+		a.segIdx[seg.Seq] = idx
+		a.segs = append(a.segs, aSeg{
+			seq:      seg.Seq,
+			len:      seg.Len,
+			ordinal:  idx,
+			lastSent: r.T,
+		})
+		a.out.DataPackets++
+	}
+	g := &a.segs[idx]
+	g.sent++
+	g.lastSent = r.T
+	if seg.Seq+uint32(seg.Len) > a.maxEnd {
+		a.maxEnd = seg.Seq + uint32(seg.Len)
+	}
+	if g.sent > 1 {
+		// Retransmission.
+		a.out.RetransPackets++
+		isTimeout := a.wasStallEnding(r.T)
+		if g.sent == 2 {
+			g.firstRetransTimeout = isTimeout
+		}
+		if isTimeout {
+			// Mimic tcp_enter_loss.
+			a.out.RTOSamplesMS = append(a.out.RTOSamplesMS, float64(a.rto)/1e6)
+			a.caState = tcpsim.StateLoss
+			a.recoverSeq = a.maxEnd
+			a.ssthresh = maxf(float64(a.inFlight())/2, 2)
+			a.cwnd = 1
+			a.dupacks = 0
+			a.rtoBackoff++
+			a.rto *= 2
+			if a.rto > a.cfg.MaxRTO {
+				a.rto = a.cfg.MaxRTO
+			}
+		} else if a.caState != tcpsim.StateLoss && a.caState != tcpsim.StateRecovery {
+			// Fast retransmit observed: Recovery.
+			a.enterRecovery()
+		}
+	}
+}
+
+// wasStallEnding reports whether the record at time t ended a
+// detected stall (used to split timeout vs fast retransmissions).
+func (a *analyzer) wasStallEnding(t sim.Time) bool {
+	if len(a.pending) == 0 {
+		return false
+	}
+	return a.pending[len(a.pending)-1].stall.End == t
+}
+
+func (a *analyzer) enterRecovery() {
+	a.caState = tcpsim.StateRecovery
+	a.recoverSeq = a.maxEnd
+	a.ssthresh = maxf(float64(a.inFlight())/2, 2)
+	a.cwnd = a.ssthresh
+}
+
+func (a *analyzer) processIn(r *trace.Record) {
+	seg := &r.Seg
+	a.lastInT = r.T
+
+	if seg.Flags.Has(packet.FlagSYN) {
+		if a.out.InitRwnd == 0 {
+			a.out.InitRwnd = seg.Wnd
+		}
+		a.rwnd = seg.Wnd
+		a.haveRwnd = true
+		return
+	}
+
+	// Handshake RTT seed: the first post-SYN incoming segment
+	// acknowledges the SYN-ACK, as in the Linux setup path.
+	if !a.rttSeeded && a.synackAt > 0 {
+		a.rttSeeded = true
+		a.rttSample(r.T.Sub(a.synackAt))
+	}
+
+	prevRwnd := a.rwnd
+	a.rwnd = seg.Wnd
+	a.haveRwnd = true
+	if seg.Wnd == 0 {
+		a.out.ZeroRwndSeen = true
+	}
+
+	if seg.Len > 0 {
+		// A client request: the next response starts at the current
+		// snd_nxt. Requests arriving before any response data map to
+		// the stream base once it is known.
+		if a.haveBase {
+			a.respBounds = append(a.respBounds, a.maxEnd)
+		} else {
+			a.pendingResp++
+		}
+	}
+
+	// DSACK detection (RFC 2883): first block at/below the ACK or
+	// contained in the second block.
+	dsacked := false
+	if len(seg.SACK) > 0 {
+		b0 := seg.SACK[0]
+		if b0.Right <= seg.Ack ||
+			(len(seg.SACK) > 1 && b0.Left >= seg.SACK[1].Left && b0.Right <= seg.SACK[1].Right) {
+			dsacked = true
+			for i := range a.segs {
+				g := &a.segs[i]
+				if g.seq >= b0.Left && g.end() <= b0.Right {
+					g.spuriousAt = append(g.spuriousAt, r.T)
+				}
+			}
+		}
+	}
+
+	// SACK marking.
+	sackedNew := false
+	for bi, b := range seg.SACK {
+		if dsacked && bi == 0 {
+			continue
+		}
+		for i := range a.segs {
+			g := &a.segs[i]
+			if g.acked || g.sacked {
+				continue
+			}
+			if g.seq >= b.Left && g.end() <= b.Right {
+				g.sacked = true
+				sackedNew = true
+			}
+		}
+	}
+
+	switch {
+	case a.haveBase && seg.Ack > a.sndUna:
+		a.newAck(r, seg)
+	case a.haveBase && seg.Ack == a.sndUna && seg.Len == 0 &&
+		a.packetsOut() > 0 && (sackedNew || len(seg.SACK) > 0 || seg.Wnd == prevRwnd):
+		a.dupacks++
+		if a.caState == tcpsim.StateOpen {
+			a.caState = tcpsim.StateDisorder
+		}
+		if a.caState == tcpsim.StateDisorder && a.dupacks >= a.dupThresh {
+			a.enterRecovery()
+		}
+	}
+
+	// Figure 11: in_flight evaluated on each ACK.
+	a.out.InFlightOnAck = append(a.out.InFlightOnAck, a.inFlight())
+}
+
+func (a *analyzer) newAck(r *trace.Record, seg *tcpsim.Segment) {
+	newlyAcked := 0
+	var edge *aSeg
+	for i := range a.segs {
+		g := &a.segs[i]
+		if !g.acked && g.end() <= seg.Ack {
+			g.acked = true
+			newlyAcked++
+			if g.end() == seg.Ack {
+				edge = g
+			}
+		}
+	}
+	a.sndUna = seg.Ack
+	a.dupacks = 0
+	a.rtoBackoff = 0
+
+	// RTT sampling. Prefer timestamps (unambiguous even across
+	// cumulative-ACK jumps); fall back to the ack-edge segment when
+	// it was never retransmitted and the advance is a normal 1–2
+	// segment step (a jump's edge segment sat in the receiver's
+	// out-of-order queue and would inflate the sample).
+	switch {
+	case seg.TSEcr > 0:
+		rtt := r.T.Sub(seg.TSEcr)
+		a.rttSample(rtt)
+		if rtt > 0 {
+			a.out.RTTSamplesMS = append(a.out.RTTSamplesMS, float64(rtt)/1e6)
+		}
+	case edge != nil && edge.sent == 1 && newlyAcked <= 2:
+		rtt := r.T.Sub(edge.lastSent)
+		a.rttSample(rtt)
+		if rtt > 0 {
+			a.out.RTTSamplesMS = append(a.out.RTTSamplesMS, float64(rtt)/1e6)
+		}
+	}
+
+	// State transitions.
+	switch a.caState {
+	case tcpsim.StateRecovery, tcpsim.StateLoss:
+		if seg.Ack >= a.recoverSeq {
+			a.caState = tcpsim.StateOpen
+			a.cwnd = maxf(a.ssthresh, 2)
+		}
+	case tcpsim.StateDisorder:
+		a.caState = tcpsim.StateOpen
+	}
+	if a.caState == tcpsim.StateOpen {
+		for i := 0; i < newlyAcked; i++ {
+			if a.cwnd < a.ssthresh {
+				a.cwnd++
+			} else {
+				a.cwnd += 1 / a.cwnd
+			}
+		}
+	}
+}
+
+// rttSample applies RFC 6298.
+func (a *analyzer) rttSample(rtt time.Duration) {
+	if rtt <= 0 {
+		return
+	}
+	if !a.hasRTT {
+		a.srtt = rtt
+		a.rttvar = rtt / 2
+		a.hasRTT = true
+	} else {
+		d := a.srtt - rtt
+		if d < 0 {
+			d = -d
+		}
+		a.rttvar = (3*a.rttvar + d) / 4
+		a.srtt = (7*a.srtt + rtt) / 8
+	}
+	// Mirror the kernel: RTO = SRTT + max(4·RTTVAR, minRTO).
+	v := 4 * a.rttvar
+	if v < a.cfg.MinRTO {
+		v = a.cfg.MinRTO
+	}
+	rto := a.srtt + v
+	for i := 0; i < a.rtoBackoff; i++ {
+		rto *= 2
+	}
+	if rto > a.cfg.MaxRTO {
+		rto = a.cfg.MaxRTO
+	}
+	a.rto = rto
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

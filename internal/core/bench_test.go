@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"tcpstall/internal/netem"
+	"tcpstall/internal/sim"
+	"tcpstall/internal/tcpsim"
+	"tcpstall/internal/trace"
+)
+
+// benchFlow builds one large lossy flow for classifier throughput
+// measurement.
+func benchFlow(b *testing.B, size int64) *trace.Flow {
+	b.Helper()
+	s := sim.New()
+	rng := sim.NewRNG(1)
+	down := netem.New(s, rng, netem.Config{Delay: 20e6, Loss: netem.Bernoulli{P: 0.02}})
+	up := netem.New(s, rng, netem.Config{Delay: 20e6})
+	col := trace.NewCollector("bench", "bench")
+	conn := tcpsim.NewLinkedConn(s, tcpsim.ConnConfig{
+		Sender:   tcpsim.DefaultSenderConfig(),
+		Receiver: tcpsim.DefaultReceiverConfig(),
+		Requests: []tcpsim.Request{{Size: size}},
+	}, down, up, col)
+	conn.Start()
+	s.Run()
+	if !conn.Metrics().Done {
+		b.Fatal("bench flow did not complete")
+	}
+	return col.Flow
+}
+
+// BenchmarkAnalyze measures TAPO throughput on a ~2MB lossy flow
+// (thousands of records), in bytes of analyzed stream per op.
+func BenchmarkAnalyze(b *testing.B) {
+	fl := benchFlow(b, 2_000_000)
+	cfg := DefaultConfig()
+	b.SetBytes(fl.DataBytes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Analyze(fl, cfg)
+	}
+}
+
+// BenchmarkAnalyzeShort measures the per-flow overhead on web-search
+// sized flows.
+func BenchmarkAnalyzeShort(b *testing.B) {
+	fl := benchFlow(b, 14_000)
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Analyze(fl, cfg)
+	}
+}

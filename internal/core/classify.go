@@ -1,0 +1,172 @@
+package core
+
+import (
+	"sort"
+
+	"tcpstall/internal/tcpsim"
+	"tcpstall/internal/trace"
+)
+
+// finalize resolves response boundaries, classifies every pending
+// stall with the Figure-5 tree and Table-5 precedence, and fills the
+// flow-level aggregates.
+func (a *analyzer) finalize() {
+	a.out.DataBytes = int64(a.maxEnd - a.base)
+	if !a.haveBase {
+		a.out.DataBytes = 0
+	}
+	sort.Slice(a.respBounds, func(i, j int) bool { return a.respBounds[i] < a.respBounds[j] })
+
+	total := a.out.DataPackets
+	if total < 1 {
+		total = 1
+	}
+	for i := range a.pending {
+		ps := &a.pending[i]
+		st := &ps.stall
+		cur := &a.flow.Records[st.EndRecIdx]
+		st.Cause = a.topCause(ps, cur)
+		if st.Cause == CauseTimeoutRetrans {
+			st.RetransCause, st.DoubleKind, st.TailState = a.retransCause(ps)
+			st.Position = float64(a.segs[ps.retransSegIdx].ordinal) / float64(total)
+		}
+		a.out.Stalls = append(a.out.Stalls, *st)
+		a.out.TotalStallTime += st.Duration
+	}
+}
+
+// respRange locates the response containing stream offset seq and
+// returns its [start, end) bounds. The end of the last response is
+// the flow's final snd_nxt.
+func (a *analyzer) respRange(seq uint32) (start, end uint32) {
+	start = a.base
+	end = a.maxEnd
+	for _, b := range a.respBounds {
+		if b <= seq && b >= start {
+			start = b
+		}
+		if b > seq {
+			end = b
+			break
+		}
+	}
+	return start, end
+}
+
+// isRespHead reports whether seq starts a response.
+func (a *analyzer) isRespHead(seq uint32) bool {
+	for _, b := range a.respBounds {
+		if b == seq {
+			return true
+		}
+	}
+	return seq == a.base
+}
+
+// topCause walks the Figure-5 tree for one stall.
+func (a *analyzer) topCause(ps *pendingStall, cur *trace.Record) Cause {
+	// Receive-window branch: a closed window at stall start explains
+	// the silence regardless of what reopens it (window update or
+	// zero-window probe).
+	if ps.stall.Rwnd == 0 && a.haveBase {
+		return CauseZeroWindow
+	}
+
+	if cur.Dir == tcpsim.DirOut && cur.Seg.Len > 0 {
+		if ps.retransSegIdx >= 0 {
+			return CauseTimeoutRetrans
+		}
+		// New data after silence: the transport was willing but had
+		// nothing to send — server-side cause, split by position.
+		if a.isRespHead(cur.Seg.Seq) {
+			return CauseDataUnavailable
+		}
+		if ps.outstandingAtStart == 0 {
+			return CauseResourceConstraint
+		}
+		// New data while old data was outstanding: the window opened
+		// after a delayed ACK run — network delay.
+		return CausePacketDelay
+	}
+
+	if cur.Dir == tcpsim.DirIn {
+		if cur.Seg.Len > 0 {
+			// A client request ends the stall.
+			if ps.outstandingAtStart == 0 {
+				return CauseClientIdle
+			}
+			return CausePacketDelay
+		}
+		// Pure ACK ends the stall.
+		if ps.outstandingAtStart > 0 {
+			return CausePacketDelay
+		}
+		return CauseUndetermined
+	}
+
+	return CauseUndetermined
+}
+
+// retransCause applies the Table-5 precedence to a
+// timeout-retransmission stall.
+func (a *analyzer) retransCause(ps *pendingStall) (RetransCause, DoubleKind, tcpsim.CongState) {
+	g := &a.segs[ps.retransSegIdx]
+
+	// 1. Double retransmission: the packet had been retransmitted
+	// before this stall-ending retransmission.
+	if ps.copiesBefore >= 2 {
+		kind := DoubleFast
+		if ps.firstRetransTimeout {
+			kind = DoubleTimeout
+		}
+		return RetransDouble, kind, 0
+	}
+
+	// 2. Tail retransmission: every byte of the response was already
+	// sent and too few segments sit above the loss to produce
+	// dupthres dupacks.
+	_, respEnd := a.respRange(g.seq)
+	allSent := ps.maxEndAtStall >= respEnd
+	if allSent && ps.segsAboveOutstanding < a.cfg.DupThresh {
+		tailState := ps.stall.CaState
+		switch tailState {
+		case tcpsim.StateDisorder:
+			tailState = tcpsim.StateOpen
+		case tcpsim.StateLoss:
+			tailState = tcpsim.StateRecovery
+		}
+		return RetransTail, 0, tailState
+	}
+
+	// 3. ACK delay/loss: the retransmission turns out spurious — a
+	// DSACK for it arrives shortly after the stall, meaning the data
+	// was never lost (Figure 5's "spurious" branch). This must
+	// precede the small-window tests: a spurious retransmission
+	// almost always happens at small in-flight and would otherwise
+	// be swallowed by them.
+	for _, t := range g.spuriousAt {
+		if t > ps.stall.End && t.Sub(ps.stall.End) <= a.cfg.DSACKHorizon {
+			return RetransAckDelayLoss, 0, 0
+		}
+	}
+
+	// 4/5. Small in-flight: fast retransmit starved of dupacks.
+	if ps.stall.InFlight < a.cfg.SmallInFlight {
+		limit := a.cfg.SmallInFlight * a.mss
+		if ps.stall.Rwnd > 0 && ps.stall.Rwnd < limit &&
+			ps.stall.Rwnd <= ps.stall.CwndEst*a.mss {
+			return RetransSmallRwnd, 0, 0
+		}
+		return RetransSmallCwnd, 0, 0
+	}
+
+	// 6. Continuous loss: a full window (≥ SmallInFlight segments)
+	// outstanding with zero SACK/dupack feedback.
+	if ps.outstandingAtStart >= a.cfg.SmallInFlight &&
+		ps.sackedOutAtStart == 0 && ps.dupacksAtStart == 0 {
+		return RetransContinuousLoss, 0, 0
+	}
+
+	// 7. Undetermined.
+	return RetransUndetermined, 0, 0
+}

@@ -1,0 +1,61 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"tcpstall/internal/core"
+	"tcpstall/internal/netem"
+	"tcpstall/internal/sim"
+	"tcpstall/internal/tcpsim"
+	"tcpstall/internal/trace"
+)
+
+// ExampleAnalyze classifies the stalls of one simulated flow whose
+// tail segment is lost: the paper's canonical tail-retransmission
+// timeout.
+func ExampleAnalyze() {
+	s := sim.New()
+	rng := sim.NewRNG(1)
+	// Drop the 3rd data segment (the tail of a 3-segment response).
+	down := netem.New(s, rng, netem.Config{
+		Delay: 20 * time.Millisecond,
+		Loss:  netem.DropList(4), // SYN-ACK, req-ACK, then data 1..3
+	})
+	up := netem.New(s, rng, netem.Config{Delay: 20 * time.Millisecond})
+
+	col := trace.NewCollector("example", "demo")
+	conn := tcpsim.NewLinkedConn(s, tcpsim.ConnConfig{
+		Sender:   tcpsim.DefaultSenderConfig(),
+		Receiver: tcpsim.DefaultReceiverConfig(),
+		Requests: []tcpsim.Request{{Size: 3 * 1460}},
+	}, down, up, col)
+	conn.Start()
+	s.Run()
+
+	a := core.Analyze(col.Flow, core.DefaultConfig())
+	for _, st := range a.Stalls {
+		fmt.Printf("%s/%s in %s state\n", st.Cause, st.RetransCause, st.TailState)
+	}
+	// Output:
+	// retransmission/tail-retrans in Open state
+}
+
+// ExampleNewReport aggregates analyses into the paper's Table-3
+// shape.
+func ExampleNewReport() {
+	a := &core.FlowAnalysis{
+		Stalls: []core.Stall{
+			{Cause: core.CauseZeroWindow, Duration: 400 * time.Millisecond},
+			{Cause: core.CauseTimeoutRetrans, RetransCause: core.RetransDouble,
+				DoubleKind: core.DoubleFast, Duration: 600 * time.Millisecond},
+		},
+	}
+	r := core.NewReport([]*core.FlowAnalysis{a})
+	fmt.Printf("stalls=%d zero-window time share=%.0f%% double f-share=%.0f%%\n",
+		r.TotalStalls,
+		100*r.CausePctTime(core.CauseZeroWindow),
+		100*r.DoublePctTime(core.DoubleFast))
+	// Output:
+	// stalls=2 zero-window time share=40% double f-share=100%
+}

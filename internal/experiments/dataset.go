@@ -1,0 +1,121 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation from the synthetic dataset: Table 1 (dataset
+// statistics), Figures 1/3/6/7/10/11/12 (distributions), Tables 3–7
+// (stall breakdowns) and Tables 8–9 (the S-RTO production A/B). Each
+// experiment returns structured rows for tests plus a rendered
+// paper-style table.
+package experiments
+
+import (
+	"tcpstall/internal/core"
+	"tcpstall/internal/trace"
+	"tcpstall/internal/workload"
+)
+
+// Options tunes dataset generation.
+type Options struct {
+	// Seed drives all randomness (default 20141222, the dataset's
+	// first capture day).
+	Seed int64
+	// Scale multiplies each service's default flow count (default 1).
+	Scale float64
+	// FlowsOverride fixes the per-service flow count when > 0.
+	FlowsOverride int
+}
+
+func (o *Options) defaults() {
+	if o.Seed == 0 {
+		o.Seed = 20141222
+	}
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+}
+
+// Dataset is one service's generated flows plus their TAPO analyses.
+type Dataset struct {
+	Service  workload.Service
+	Results  []workload.FlowResult
+	Analyses []*core.FlowAnalysis
+	Report   *core.Report
+}
+
+// BuildDataset generates and analyzes one service.
+func BuildDataset(svc workload.Service, seed int64, flows int) *Dataset {
+	res := workload.Generate(svc, seed, workload.GenOptions{Flows: flows})
+	ds := &Dataset{Service: svc, Results: res}
+	for _, r := range res {
+		if r.Flow == nil {
+			continue
+		}
+		ds.Analyses = append(ds.Analyses, core.Analyze(r.Flow, core.DefaultConfig()))
+	}
+	ds.Report = core.NewReport(ds.Analyses)
+	return ds
+}
+
+// BuildAll generates the three services.
+func BuildAll(opt Options) []*Dataset {
+	opt.defaults()
+	var out []*Dataset
+	for i, svc := range workload.Services() {
+		n := opt.FlowsOverride
+		if n <= 0 {
+			n = int(float64(svc.DefaultFlows) * opt.Scale)
+			if n < 10 {
+				n = 10
+			}
+		}
+		out = append(out, BuildDataset(svc, opt.Seed+int64(i)*7919, n))
+	}
+	return out
+}
+
+// ShortName compresses service names for table headers, following the
+// paper ("cloud stor.", "soft. down.", "web search").
+func ShortName(s string) string {
+	switch s {
+	case "cloud-storage":
+		return "cloud stor."
+	case "software-download":
+		return "soft. down."
+	case "web-search":
+		return "web search"
+	default:
+		return s
+	}
+}
+
+// doneFlows filters to completed connections.
+func (d *Dataset) doneFlows() []workload.FlowResult {
+	out := make([]workload.FlowResult, 0, len(d.Results))
+	for _, r := range d.Results {
+		if r.Metrics.Done {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// analysisByID indexes analyses for joint flow/analysis walks.
+func (d *Dataset) analysisByID() map[string]*core.FlowAnalysis {
+	m := make(map[string]*core.FlowAnalysis, len(d.Analyses))
+	for _, a := range d.Analyses {
+		m[a.FlowID] = a
+	}
+	return m
+}
+
+// filterShort keeps flows under the paper's 200KB short-flow bound.
+func filterShort(res []workload.FlowResult) []workload.FlowResult {
+	var out []workload.FlowResult
+	for _, r := range res {
+		if r.Metrics.Done && r.Metrics.BytesServed < workload.ShortFlowLimit {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// flowOf is a small helper for tests.
+func flowOf(r workload.FlowResult) *trace.Flow { return r.Flow }

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"tcpstall/internal/core"
+	"tcpstall/internal/stats"
+)
+
+// FigureSeries bundles one named empirical distribution per service.
+type FigureSeries struct {
+	Names  []string
+	Series []*stats.Sample
+}
+
+// add appends a named sample.
+func (f *FigureSeries) add(name string, s *stats.Sample) {
+	f.Names = append(f.Names, name)
+	f.Series = append(f.Series, s)
+}
+
+func (f *FigureSeries) render(title, xLabel string, grid []float64) string {
+	pts := make([][]stats.CDFPoint, len(f.Series))
+	for i, s := range f.Series {
+		pts[i] = s.CDFSeries(grid)
+	}
+	return stats.RenderCDFs(title, xLabel, f.Names, pts)
+}
+
+// Figure1 computes the per-flow RTT and RTO distributions (1a) and
+// the RTO/RTT ratio (1b).
+func Figure1(ds []*Dataset) (rtt, rto, ratio FigureSeries, rendered string) {
+	for _, d := range ds {
+		sRTT := stats.NewSample(len(d.Analyses))
+		sRTO := stats.NewSample(len(d.Analyses))
+		sRatio := stats.NewSample(len(d.Analyses))
+		for _, a := range d.Analyses {
+			r := a.AvgRTT()
+			o := a.AvgRTO()
+			if r > 0 {
+				sRTT.Add(r)
+			}
+			if o > 0 {
+				sRTO.Add(o)
+				if r > 0 {
+					sRatio.Add(o / r)
+				}
+			}
+		}
+		rtt.add(ShortName(d.Service.Name)+" RTT", sRTT)
+		rto.add(ShortName(d.Service.Name)+" RTO", sRTO)
+		ratio.add(ShortName(d.Service.Name), sRatio)
+	}
+	gridMS := stats.LogGrid(1, 10000, 16)
+	gridRatio := stats.LogGrid(1, 100, 8)
+	all := FigureSeries{
+		Names:  append(append([]string{}, rtt.Names...), rto.Names...),
+		Series: append(append([]*stats.Sample{}, rtt.Series...), rto.Series...),
+	}
+	rendered = all.render("Figure 1a: Per-flow RTT and RTO (CDF).", "ms", gridMS) +
+		"\n" + ratio.render("Figure 1b: RTO / RTT (CDF).", "RTO/RTT", gridRatio)
+	return rtt, rto, ratio, rendered
+}
+
+// Figure3 computes the CDF of stalled time over transmission time.
+func Figure3(ds []*Dataset) (FigureSeries, string) {
+	var fs FigureSeries
+	for _, d := range ds {
+		s := stats.NewSample(len(d.Analyses))
+		for _, a := range d.Analyses {
+			s.Add(a.StalledFraction())
+		}
+		fs.add(ShortName(d.Service.Name), s)
+	}
+	grid := stats.LinearGrid(0, 1, 20)
+	return fs, fs.render("Figure 3: Ratio of stalled time to transmission time (CDF).", "stalled/total", grid)
+}
+
+// Figure6 computes the initial receive window distribution in MSS.
+func Figure6(ds []*Dataset) (FigureSeries, string) {
+	var fs FigureSeries
+	for _, d := range ds {
+		s := stats.NewSample(len(d.Analyses))
+		for _, a := range d.Analyses {
+			if a.InitRwnd > 0 {
+				s.Add(float64(a.InitRwnd) / float64(d.Service.MSS))
+			}
+		}
+		fs.add(ShortName(d.Service.Name), s)
+	}
+	grid := []float64{2, 5, 11, 22, 45, 182, 364, 648, 1297, 1456}
+	return fs, fs.render("Figure 6: Initial receive windows (CDF).", "init rwnd (MSS)", grid)
+}
+
+// stallFilter selects stalls for the context figures.
+type stallFilter func(st *core.Stall) bool
+
+// contextCDFs extracts per-service position and in-flight samples for
+// stalls matching the filter (Figures 7 and 10).
+func contextCDFs(ds []*Dataset, keep stallFilter) (pos, inflight FigureSeries) {
+	for _, d := range ds {
+		sPos := stats.NewSample(64)
+		sIF := stats.NewSample(64)
+		for _, a := range d.Analyses {
+			for i := range a.Stalls {
+				st := &a.Stalls[i]
+				if !keep(st) {
+					continue
+				}
+				if st.Position >= 0 {
+					sPos.Add(st.Position)
+				}
+				sIF.Add(float64(st.InFlight))
+			}
+		}
+		pos.add(ShortName(d.Service.Name), sPos)
+		inflight.add(ShortName(d.Service.Name), sIF)
+	}
+	return pos, inflight
+}
+
+// Figure7 computes the double-retransmission stall context: relative
+// position (7a) and in-flight size (7b).
+func Figure7(ds []*Dataset) (pos, inflight FigureSeries, rendered string) {
+	pos, inflight = contextCDFs(ds, func(st *core.Stall) bool {
+		return st.Cause == core.CauseTimeoutRetrans && st.RetransCause == core.RetransDouble
+	})
+	rendered = pos.render("Figure 7a: Relative position of double retransmission stalls (CDF).",
+		"position", stats.LinearGrid(0, 1, 10)) + "\n" +
+		inflight.render("Figure 7b: in_flight size at double retransmission stalls (CDF).",
+			"#(in-flight)", stats.LinearGrid(0, 20, 20))
+	return pos, inflight, rendered
+}
+
+// Figure10 computes the tail-retransmission stall context.
+func Figure10(ds []*Dataset) (pos, inflight FigureSeries, rendered string) {
+	pos, inflight = contextCDFs(ds, func(st *core.Stall) bool {
+		return st.Cause == core.CauseTimeoutRetrans && st.RetransCause == core.RetransTail
+	})
+	rendered = pos.render("Figure 10a: Relative position of tail retransmission stalls (CDF).",
+		"position", stats.LinearGrid(0, 1, 10)) + "\n" +
+		inflight.render("Figure 10b: in_flight size at tail retransmission stalls (CDF).",
+			"#(in-flight)", stats.LinearGrid(0, 10, 10))
+	return pos, inflight, rendered
+}
+
+// Figure11 computes the distribution of Equation-1 in_flight
+// evaluated on every ACK.
+func Figure11(ds []*Dataset) (FigureSeries, string) {
+	var fs FigureSeries
+	for _, d := range ds {
+		s := stats.NewSample(4096)
+		for _, a := range d.Analyses {
+			for _, v := range a.InFlightOnAck {
+				s.Add(float64(v))
+			}
+		}
+		fs.add(ShortName(d.Service.Name), s)
+	}
+	grid := stats.LogGrid(1, 100, 10)
+	return fs, fs.render("Figure 11: in_flight size computed on each ACK (CDF).", "#(in-flight)", grid)
+}
+
+// Figure12 computes the in-flight distribution at continuous-loss
+// stalls (outstanding packets, all lost).
+func Figure12(ds []*Dataset) (FigureSeries, string) {
+	var fs FigureSeries
+	for _, d := range ds {
+		if d.Service.Name == "web-search" {
+			continue // as in the paper, too few events to plot
+		}
+		s := stats.NewSample(64)
+		for _, a := range d.Analyses {
+			for i := range a.Stalls {
+				st := &a.Stalls[i]
+				if st.Cause == core.CauseTimeoutRetrans && st.RetransCause == core.RetransContinuousLoss {
+					s.Add(float64(st.PacketsOut))
+				}
+			}
+		}
+		fs.add(ShortName(d.Service.Name), s)
+	}
+	grid := stats.LinearGrid(0, 30, 15)
+	return fs, fs.render("Figure 12: in-flight size when continuous loss stalls happen (CDF).", "#(in-flight)", grid)
+}

@@ -1,0 +1,286 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"tcpstall/internal/mitigation"
+	"tcpstall/internal/stats"
+	"tcpstall/internal/tcpsim"
+	"tcpstall/internal/workload"
+)
+
+// ABResult holds one workload generated under the three recovery
+// strategies with identical seeds — the reproduction of the paper's
+// round-robin production deployment.
+type ABResult struct {
+	Workload string
+	// ByStrategy maps strategy name → flow results.
+	ByStrategy map[string][]workload.FlowResult
+}
+
+// Strategies lists the Table-8/9 contenders in paper order.
+var Strategies = []mitigation.Kind{mitigation.KindNative, mitigation.KindTLP, mitigation.KindSRTO}
+
+// srtoConfigFor returns the deployed S-RTO parameters: T1 = 5 for web
+// search, 10 for cloud storage (Section 5.1), T2 = 5.
+func srtoConfigFor(service string) mitigation.SRTOConfig {
+	t1 := 10
+	if service == "web-search" {
+		t1 = 5
+	}
+	return mitigation.SRTOConfig{T1: t1, T2: 5}
+}
+
+// newStrategy builds a fresh per-connection strategy instance.
+func newStrategy(kind mitigation.Kind, service string) func() tcpsim.Recovery {
+	switch kind {
+	case mitigation.KindSRTO:
+		cfg := srtoConfigFor(service)
+		return func() tcpsim.Recovery { return mitigation.NewSRTO(cfg) }
+	case mitigation.KindTLP:
+		return func() tcpsim.Recovery { return mitigation.NewTLP(mitigation.TLPConfig{}) }
+	default:
+		return func() tcpsim.Recovery { return tcpsim.NativeRecovery{} }
+	}
+}
+
+// RunAB generates the service under each strategy with the same seed.
+// Traces are skipped for speed; the latency/retransmission metrics
+// carry everything Tables 8 and 9 need.
+func RunAB(svc workload.Service, seed int64, flows int) *ABResult {
+	res := &ABResult{Workload: svc.Name, ByStrategy: map[string][]workload.FlowResult{}}
+	for _, kind := range Strategies {
+		res.ByStrategy[string(kind)] = workload.Generate(svc, seed, workload.GenOptions{
+			Flows:       flows,
+			SkipTraces:  true,
+			NewRecovery: newStrategy(kind, svc.Name),
+		})
+	}
+	return res
+}
+
+// latencySample extracts completed-flow latencies in milliseconds,
+// optionally keeping only short flows.
+func latencySample(res []workload.FlowResult, shortOnly bool) *stats.Sample {
+	s := stats.NewSample(len(res))
+	for _, r := range res {
+		if !r.Metrics.Done {
+			continue
+		}
+		if shortOnly && r.Metrics.BytesServed >= workload.ShortFlowLimit {
+			continue
+		}
+		s.Add(float64(r.Metrics.FlowLatency().Milliseconds()))
+	}
+	return s
+}
+
+// Table8Row is one workload's latency-reduction comparison.
+type Table8Row struct {
+	Workload string
+	// Reduction maps strategy → metric → relative latency change vs
+	// native (negative = faster). Metrics: "p50", "p90", "p95",
+	// "mean".
+	Reduction map[string]map[string]float64
+	// Flows counts the evaluated flows per strategy.
+	Flows map[string]int
+}
+
+var table8Metrics = []string{"p50", "p90", "p95", "mean"}
+
+func metricsOf(s *stats.Sample) map[string]float64 {
+	return map[string]float64{
+		"p50":  s.Quantile(0.50),
+		"p90":  s.Quantile(0.90),
+		"p95":  s.Quantile(0.95),
+		"mean": s.Mean(),
+	}
+}
+
+// Table8 reproduces the latency-reduction comparison: web search
+// (all flows are short) and cloud-storage short flows, TLP and S-RTO
+// relative to native Linux.
+func Table8(seed int64, wsFlows, csFlows int) ([]Table8Row, string) {
+	type job struct {
+		svc       workload.Service
+		flows     int
+		shortOnly bool
+		label     string
+	}
+	jobs := []job{
+		{workload.WebSearch(), wsFlows, false, "web search"},
+		{workload.CloudStorageShort(), csFlows, true, "cloud s. (short flows)"},
+	}
+	var rows []Table8Row
+	t := stats.NewTable("Table 8: Comparison of latency reduction between TLP and S-RTO (vs native Linux).",
+		"quantile", "web search TLP", "S-RTO", "cloud s. TLP", "S-RTO")
+	cells := map[string]map[string]map[string]float64{} // label → strategy → metric
+	for _, j := range jobs {
+		ab := RunAB(j.svc, seed, j.flows)
+		base := metricsOf(latencySample(ab.ByStrategy[string(mitigation.KindNative)], j.shortOnly))
+		row := Table8Row{
+			Workload:  j.label,
+			Reduction: map[string]map[string]float64{},
+			Flows:     map[string]int{},
+		}
+		for _, kind := range Strategies[1:] {
+			s := latencySample(ab.ByStrategy[string(kind)], j.shortOnly)
+			m := metricsOf(s)
+			red := map[string]float64{}
+			for _, k := range table8Metrics {
+				if base[k] > 0 {
+					red[k] = (m[k] - base[k]) / base[k]
+				}
+			}
+			row.Reduction[string(kind)] = red
+			row.Flows[string(kind)] = s.Len()
+		}
+		rows = append(rows, row)
+		cells[j.label] = row.Reduction
+	}
+	for _, metric := range table8Metrics {
+		t.AddRow(metric,
+			pct(cells["web search"]["tlp"][metric]),
+			pct(cells["web search"]["srto"][metric]),
+			pct(cells["cloud s. (short flows)"]["tlp"][metric]),
+			pct(cells["cloud s. (short flows)"]["srto"][metric]),
+		)
+	}
+	return rows, t.String()
+}
+
+func pct(v float64) string { return fmt.Sprintf("%+.1f%%", 100*v) }
+
+// Table9Row is one service's retransmission packet ratio per
+// strategy.
+type Table9Row struct {
+	Service string
+	// RatioPct maps strategy → retransmitted packets / all data
+	// packets, in percent.
+	RatioPct map[string]float64
+}
+
+// Table9 reproduces the retransmission packet ratio comparison.
+func Table9(seed int64, wsFlows, csFlows int) ([]Table9Row, string) {
+	jobs := []struct {
+		svc   workload.Service
+		flows int
+	}{
+		{workload.WebSearch(), wsFlows},
+		{workload.CloudStorage(), csFlows},
+	}
+	var rows []Table9Row
+	t := stats.NewTable("Table 9: Retransmission packet ratio.",
+		"service", "Linux", "TLP", "S-RTO")
+	for _, j := range jobs {
+		ab := RunAB(j.svc, seed+1, j.flows)
+		row := Table9Row{Service: j.svc.Name, RatioPct: map[string]float64{}}
+		cells := []string{ShortName(j.svc.Name)}
+		for _, kind := range Strategies {
+			var retrans, total float64
+			for _, r := range ab.ByStrategy[string(kind)] {
+				retrans += float64(r.Metrics.Sender.Retransmissions)
+				total += float64(r.Metrics.Sender.DataSegmentsSent)
+			}
+			ratio := 100 * retrans / maxF(total, 1)
+			row.RatioPct[string(kind)] = ratio
+			cells = append(cells, fmt.Sprintf("%.1f%%", ratio))
+		}
+		rows = append(rows, row)
+		t.AddRow(cells...)
+	}
+	return rows, t.String()
+}
+
+// FloorRegimeComparison isolates the network regime the paper's
+// deployment sat in: short, floor-dominated RTOs. For a 40ms-RTT path
+// the Linux RTO is pinned near SRTT + 200ms ≈ 6×RTT, so converting a
+// timeout into a 2·RTT probe saves several RTTs per loss event while
+// a spurious probe costs about one. Here S-RTO's advantage over TLP
+// is structural (it also fires in Disorder/Recovery, catching
+// f-double stalls), reproducing the shape of the paper's Table 8.
+func FloorRegimeComparison(seed int64, flows int) ([]Table8Row, string) {
+	svc := workload.CloudStorageShort()
+	// A stable metro path: low base RTT, no wireless jitter, no
+	// delay spikes — the Linux RTO is pinned at SRTT + 200ms, several
+	// RTTs above the path RTT. Small control responses keep
+	// packets_out under the deployed T1 so the probe can arm, and
+	// bursty loss supplies the tail/double events S-RTO converts.
+	svc.RTTMean = 40 * time.Millisecond
+	svc.RTTSigma = 0.3
+	svc.WirelessProb = 0
+	svc.SpikeEvery = 0
+	svc.JitterFrac = 0.1
+	svc.RespSizeMean = 8_000
+	svc.RespSizeSigma = 0.6
+	svc.BurstEvery = 2500 * time.Millisecond
+	svc.BurstDur = 400 * time.Millisecond
+	svc.BurstLossP = 0.6
+	svc.LossGB = 0.018
+
+	ab := &ABResult{Workload: "floor-regime", ByStrategy: map[string][]workload.FlowResult{}}
+	for _, kind := range Strategies {
+		ab.ByStrategy[string(kind)] = workload.Generate(svc, seed, workload.GenOptions{
+			Flows:       flows,
+			SkipTraces:  true,
+			NewRecovery: newStrategy(kind, svc.Name),
+		})
+	}
+	base := metricsOf(latencySample(ab.ByStrategy[string(mitigation.KindNative)], true))
+	row := Table8Row{
+		Workload:  "floor-regime short flows",
+		Reduction: map[string]map[string]float64{},
+		Flows:     map[string]int{},
+	}
+	t := stats.NewTable("Floor-regime A/B (40ms RTT, RTO ≈ 6×RTT): latency change vs native.",
+		"quantile", "TLP", "S-RTO")
+	for _, kind := range Strategies[1:] {
+		s := latencySample(ab.ByStrategy[string(kind)], true)
+		m := metricsOf(s)
+		red := map[string]float64{}
+		for _, k := range table8Metrics {
+			if base[k] > 0 {
+				red[k] = (m[k] - base[k]) / base[k]
+			}
+		}
+		row.Reduction[string(kind)] = red
+		row.Flows[string(kind)] = s.Len()
+	}
+	for _, metric := range table8Metrics {
+		t.AddRow(metric,
+			pct(row.Reduction[string(mitigation.KindTLP)][metric]),
+			pct(row.Reduction[string(mitigation.KindSRTO)][metric]))
+	}
+	return []Table8Row{row}, t.String()
+}
+
+// LargeFlowThroughput reproduces the Section-5.2 side observation:
+// neither mechanism moves large-flow throughput much. It returns the
+// mean throughput change vs native for flows ≥ 200KB.
+func LargeFlowThroughput(seed int64, flows int) (map[string]float64, string) {
+	ab := RunAB(workload.CloudStorage(), seed+2, flows)
+	tput := func(res []workload.FlowResult) float64 {
+		var sum float64
+		var n int
+		for _, r := range res {
+			if !r.Metrics.Done || r.Metrics.BytesServed < workload.ShortFlowLimit {
+				continue
+			}
+			if lat := r.Metrics.FlowLatency(); lat > 0 {
+				sum += float64(r.Metrics.BytesServed) / lat.Seconds()
+				n++
+			}
+		}
+		return sum / maxF(float64(n), 1)
+	}
+	base := tput(ab.ByStrategy[string(mitigation.KindNative)])
+	out := map[string]float64{}
+	txt := "Large-flow (≥200KB) mean throughput change vs native:"
+	for _, kind := range Strategies[1:] {
+		chg := (tput(ab.ByStrategy[string(kind)]) - base) / base
+		out[string(kind)] = chg
+		txt += fmt.Sprintf(" %s %+.1f%%", kind, 100*chg)
+	}
+	return out, txt + "\n"
+}

@@ -1,0 +1,128 @@
+package mitigation
+
+import (
+	"time"
+
+	"tcpstall/internal/sim"
+	"tcpstall/internal/tcpsim"
+)
+
+// Extra strategies beyond the paper's Table-8 contenders, drawn from
+// its related-work discussion (Section 6): TCP-NCL's dual-timer
+// recovery and RFC 5827 Early Retransmit. They plug into the same
+// Recovery interface so the A/B harness can range over all of them.
+
+// NCLConfig parameterizes the simplified TCP-NCL strategy.
+type NCLConfig struct {
+	// RTTMultiple scales the early retransmission-delay timer
+	// (default 2·SRTT, mirroring the other probes).
+	RTTMultiple float64
+}
+
+// NCL is a simplified TCP-NCL (Lai, Leung, Li 2009): a second, more
+// aggressive retransmission timer under the assumption that the loss
+// is NON-congestion — so unlike S-RTO it neither reduces cwnd nor
+// enters Recovery on its early retransmission. Only if the native RTO
+// subsequently fires is the loss treated as congestion (the "CD
+// timer" role), with the full native response.
+type NCL struct {
+	cfg   NCLConfig
+	snd   *tcpsim.Sender
+	timer *sim.Timer
+
+	probed    bool
+	probedUna uint32
+	// Probes counts early retransmissions.
+	Probes int
+}
+
+// NewNCL builds the strategy.
+func NewNCL(cfg NCLConfig) *NCL {
+	if cfg.RTTMultiple <= 0 {
+		cfg.RTTMultiple = 2
+	}
+	return &NCL{cfg: cfg}
+}
+
+// Name implements tcpsim.Recovery.
+func (n *NCL) Name() string { return "tcp-ncl" }
+
+// Attach implements tcpsim.Recovery.
+func (n *NCL) Attach(snd *tcpsim.Sender) {
+	n.snd = snd
+	n.timer = sim.NewTimer(snd.Sim(), n.fire)
+}
+
+func (n *NCL) rearm() {
+	if !n.snd.HasOutstanding() {
+		n.timer.Stop()
+		return
+	}
+	if n.probed && n.snd.SndUna() == n.probedUna {
+		// One early retransmission per head; then the CD (native
+		// RTO) decides.
+		n.timer.Stop()
+		return
+	}
+	srtt := n.snd.SRTT()
+	if srtt <= 0 || n.snd.RTTSamples() < 2 {
+		n.timer.Stop()
+		return
+	}
+	d := time.Duration(n.cfg.RTTMultiple * float64(srtt))
+	if d >= n.snd.RTO() {
+		n.timer.Stop()
+		return
+	}
+	n.timer.Reset(d)
+}
+
+func (n *NCL) fire() {
+	if !n.snd.HasOutstanding() {
+		return
+	}
+	n.probed = true
+	n.probedUna = n.snd.SndUna()
+	// Non-congestion assumption: retransmit without any window or
+	// state change.
+	if n.snd.ProbeRetransmitFirstUnacked() {
+		n.Probes++
+	}
+	n.snd.RearmRTO()
+}
+
+// OnSent implements tcpsim.Recovery.
+func (n *NCL) OnSent(bool) { n.rearm() }
+
+// OnAck implements tcpsim.Recovery.
+func (n *NCL) OnAck() {
+	if n.probed && n.snd.SndUna() != n.probedUna {
+		n.probed = false
+	}
+	n.rearm()
+}
+
+// OnRTO implements tcpsim.Recovery.
+func (n *NCL) OnRTO() { n.timer.Stop() }
+
+// EarlyRetransmit enables RFC 5827 on the attached sender: when fewer
+// than four segments are outstanding and no new data is available,
+// the fast-retransmit dupack threshold drops to outstanding−1. It is
+// a sender-behaviour switch rather than a probe timer, so the
+// Recovery hooks are no-ops.
+type EarlyRetransmit struct{}
+
+// Name implements tcpsim.Recovery.
+func (EarlyRetransmit) Name() string { return "early-retransmit" }
+
+// Attach implements tcpsim.Recovery.
+func (EarlyRetransmit) Attach(s *tcpsim.Sender) { s.SetEarlyRetransmit(true) }
+
+// OnSent implements tcpsim.Recovery.
+func (EarlyRetransmit) OnSent(bool) {}
+
+// OnAck implements tcpsim.Recovery.
+func (EarlyRetransmit) OnAck() {}
+
+// OnRTO implements tcpsim.Recovery.
+func (EarlyRetransmit) OnRTO() {}

@@ -1,0 +1,67 @@
+package packet
+
+import "encoding/binary"
+
+// Checksum computes the RFC 1071 Internet checksum over data,
+// continuing from an initial partial sum. Pass 0 to start fresh.
+func Checksum(data []byte, initial uint32) uint16 {
+	sum := initial
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i:]))
+	}
+	if n%2 == 1 {
+		sum += uint32(data[n-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// partialSum folds data into a running 32-bit partial sum without
+// finalizing; used to chain the pseudo-header and segment sums.
+func partialSum(data []byte, sum uint32) uint32 {
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i:]))
+	}
+	if n%2 == 1 {
+		sum += uint32(data[n-1]) << 8
+	}
+	return sum
+}
+
+// finalizeSum folds carries and complements a partial sum.
+func finalizeSum(sum uint32) uint16 {
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// pseudoHeaderSumV4 returns the partial checksum of the IPv4
+// pseudo-header for the given transport segment length.
+func pseudoHeaderSumV4(src, dst [4]byte, proto IPProto, segLen int) uint32 {
+	var sum uint32
+	sum += uint32(binary.BigEndian.Uint16(src[0:2]))
+	sum += uint32(binary.BigEndian.Uint16(src[2:4]))
+	sum += uint32(binary.BigEndian.Uint16(dst[0:2]))
+	sum += uint32(binary.BigEndian.Uint16(dst[2:4]))
+	sum += uint32(proto)
+	sum += uint32(segLen)
+	return sum
+}
+
+// pseudoHeaderSumV6 returns the partial checksum of the IPv6
+// pseudo-header for the given transport segment length.
+func pseudoHeaderSumV6(src, dst [16]byte, proto IPProto, segLen int) uint32 {
+	var sum uint32
+	for i := 0; i < 16; i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(src[i:]))
+		sum += uint32(binary.BigEndian.Uint16(dst[i:]))
+	}
+	sum += uint32(segLen)
+	sum += uint32(proto)
+	return sum
+}

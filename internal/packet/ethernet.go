@@ -1,0 +1,45 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EthernetHeaderLen is the length of an Ethernet II header.
+const EthernetHeaderLen = 14
+
+// MAC is a 6-byte Ethernet hardware address.
+type MAC [6]byte
+
+// String renders the address in colon-hex form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x",
+		m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// Ethernet is an Ethernet II frame header.
+type Ethernet struct {
+	Dst  MAC
+	Src  MAC
+	Type EtherType
+}
+
+// DecodeFromBytes parses the header and returns the payload that
+// follows it.
+func (e *Ethernet) DecodeFromBytes(data []byte) (payload []byte, err error) {
+	if len(data) < EthernetHeaderLen {
+		return nil, fmt.Errorf("ethernet: %w (%d bytes)", ErrTruncated, len(data))
+	}
+	copy(e.Dst[:], data[0:6])
+	copy(e.Src[:], data[6:12])
+	e.Type = EtherType(binary.BigEndian.Uint16(data[12:14]))
+	return data[EthernetHeaderLen:], nil
+}
+
+// AppendTo serializes the header onto b and returns the extended
+// slice.
+func (e *Ethernet) AppendTo(b []byte) []byte {
+	b = append(b, e.Dst[:]...)
+	b = append(b, e.Src[:]...)
+	return binary.BigEndian.AppendUint16(b, uint16(e.Type))
+}

@@ -1,0 +1,107 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// IPv4HeaderLen is the length of an option-less IPv4 header.
+const IPv4HeaderLen = 20
+
+// IPv4 is an IPv4 header. Options are preserved as raw bytes.
+type IPv4 struct {
+	TOS      uint8
+	TotalLen uint16
+	ID       uint16
+	Flags    uint8 // 3 bits: reserved, DF, MF
+	FragOff  uint16
+	TTL      uint8
+	Protocol IPProto
+	Checksum uint16
+	Src      [4]byte
+	Dst      [4]byte
+	Options  []byte // raw, length must be a multiple of 4
+}
+
+// IPv4 flag bits.
+const (
+	IPv4DontFragment  = 0x2
+	IPv4MoreFragments = 0x1
+)
+
+// HeaderLen reports the encoded header length including options.
+func (ip *IPv4) HeaderLen() int { return IPv4HeaderLen + len(ip.Options) }
+
+// DecodeFromBytes parses the header and returns the payload
+// (truncated to TotalLen when the buffer carries trailing padding).
+func (ip *IPv4) DecodeFromBytes(data []byte) (payload []byte, err error) {
+	if len(data) < IPv4HeaderLen {
+		return nil, fmt.Errorf("ipv4: %w (%d bytes)", ErrTruncated, len(data))
+	}
+	if v := data[0] >> 4; v != 4 {
+		return nil, fmt.Errorf("ipv4: %w (version %d)", ErrBadVersion, v)
+	}
+	ihl := int(data[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen {
+		return nil, fmt.Errorf("ipv4: %w (IHL %d)", ErrBadHeader, ihl)
+	}
+	if len(data) < ihl {
+		return nil, fmt.Errorf("ipv4: %w (IHL %d > %d bytes)", ErrTruncated, ihl, len(data))
+	}
+	ip.TOS = data[1]
+	ip.TotalLen = binary.BigEndian.Uint16(data[2:4])
+	ip.ID = binary.BigEndian.Uint16(data[4:6])
+	flagsFrag := binary.BigEndian.Uint16(data[6:8])
+	ip.Flags = uint8(flagsFrag >> 13)
+	ip.FragOff = flagsFrag & 0x1fff
+	ip.TTL = data[8]
+	ip.Protocol = IPProto(data[9])
+	ip.Checksum = binary.BigEndian.Uint16(data[10:12])
+	copy(ip.Src[:], data[12:16])
+	copy(ip.Dst[:], data[16:20])
+	if ihl > IPv4HeaderLen {
+		ip.Options = append(ip.Options[:0], data[IPv4HeaderLen:ihl]...)
+	} else {
+		ip.Options = nil
+	}
+	end := int(ip.TotalLen)
+	if end < ihl || end > len(data) {
+		end = len(data)
+	}
+	return data[ihl:end], nil
+}
+
+// AppendTo serializes the header onto b, computing TotalLen from
+// payloadLen and filling in the header checksum. It returns the
+// extended slice.
+func (ip *IPv4) AppendTo(b []byte, payloadLen int) []byte {
+	if len(ip.Options)%4 != 0 {
+		panic("ipv4: options length must be a multiple of 4")
+	}
+	hlen := ip.HeaderLen()
+	start := len(b)
+	b = append(b, byte(4<<4|hlen/4), ip.TOS)
+	total := hlen + payloadLen
+	b = binary.BigEndian.AppendUint16(b, uint16(total))
+	b = binary.BigEndian.AppendUint16(b, ip.ID)
+	b = binary.BigEndian.AppendUint16(b, uint16(ip.Flags)<<13|ip.FragOff&0x1fff)
+	b = append(b, ip.TTL, byte(ip.Protocol))
+	b = append(b, 0, 0) // checksum placeholder
+	b = append(b, ip.Src[:]...)
+	b = append(b, ip.Dst[:]...)
+	b = append(b, ip.Options...)
+	sum := Checksum(b[start:start+hlen], 0)
+	binary.BigEndian.PutUint16(b[start+10:], sum)
+	return b
+}
+
+// VerifyChecksum reports whether the decoded header bytes carry a
+// valid header checksum. It re-serializes deterministically, so it is
+// valid only for headers produced by this package or standard stacks.
+func (ip *IPv4) VerifyChecksum(raw []byte) bool {
+	hlen := int(raw[0]&0x0f) * 4
+	if len(raw) < hlen {
+		return false
+	}
+	return Checksum(raw[:hlen], 0) == 0
+}

@@ -1,0 +1,56 @@
+// Package packet implements wire-format encoding and decoding for the
+// protocol layers the toolkit touches: Ethernet II, IPv4, IPv6 and
+// TCP (including the options the stall analysis depends on: MSS,
+// window scale, SACK-permitted, SACK blocks and timestamps).
+//
+// The design follows the decoding-layer style popularized by gopacket:
+// each header type has DecodeFromBytes and an AppendTo serializer, and
+// the Frame helper parses a full Ethernet/IP/TCP stack without
+// allocating per-layer objects.
+//
+// Everything here is stdlib-only; this is the substrate that lets the
+// TAPO classifier consume real pcap bytes rather than simulator
+// structs.
+package packet
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors returned by the decoders.
+var (
+	ErrTruncated   = errors.New("packet: truncated header")
+	ErrBadVersion  = errors.New("packet: unexpected IP version")
+	ErrBadHeader   = errors.New("packet: malformed header")
+	ErrUnsupported = errors.New("packet: unsupported layer")
+)
+
+// EtherType identifies the payload protocol of an Ethernet frame.
+type EtherType uint16
+
+// EtherTypes understood by the Frame parser.
+const (
+	EtherTypeIPv4 EtherType = 0x0800
+	EtherTypeIPv6 EtherType = 0x86DD
+)
+
+// IPProto identifies the transport protocol of an IP packet.
+type IPProto uint8
+
+// IP protocol numbers understood by the Frame parser.
+const (
+	IPProtoTCP IPProto = 6
+	IPProtoUDP IPProto = 17
+)
+
+func (p IPProto) String() string {
+	switch p {
+	case IPProtoTCP:
+		return "TCP"
+	case IPProtoUDP:
+		return "UDP"
+	default:
+		return fmt.Sprintf("proto(%d)", uint8(p))
+	}
+}

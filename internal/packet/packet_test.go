@@ -1,0 +1,583 @@
+package packet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestChecksumRFC1071Vector(t *testing.T) {
+	// Classic example from RFC 1071 §3: words 0001 f203 f4f5 f6f7
+	// have one's-complement sum 0xddf2, checksum 0x220d.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(data, 0); got != 0x220d {
+		t.Errorf("Checksum = %#04x, want 0x220d", got)
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	// Odd final byte is padded with a zero byte on the right.
+	if got, want := Checksum([]byte{0x12}, 0), ^uint16(0x1200); got != want {
+		t.Errorf("Checksum odd = %#04x, want %#04x", got, want)
+	}
+}
+
+func TestChecksumVerifiesToZero(t *testing.T) {
+	// Embedding the checksum makes the total sum verify to 0.
+	data := []byte{0x45, 0x00, 0x00, 0x28, 0x1c, 0x46, 0x40, 0x00,
+		0x40, 0x06, 0x00, 0x00, 0xac, 0x10, 0x0a, 0x63,
+		0xac, 0x10, 0x0a, 0x0c}
+	sum := Checksum(data, 0)
+	binary.BigEndian.PutUint16(data[10:], sum)
+	if Checksum(data, 0) != 0 {
+		t.Error("checksummed header does not verify to zero")
+	}
+}
+
+func TestEthernetRoundTrip(t *testing.T) {
+	e := Ethernet{
+		Dst:  MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+		Src:  MAC{0x00, 0x11, 0x22, 0x33, 0x44, 0x55},
+		Type: EtherTypeIPv4,
+	}
+	b := e.AppendTo(nil)
+	if len(b) != EthernetHeaderLen {
+		t.Fatalf("encoded %d bytes", len(b))
+	}
+	var got Ethernet
+	payload, err := got.DecodeFromBytes(append(b, 0xde, 0xad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != e {
+		t.Errorf("round trip: got %+v, want %+v", got, e)
+	}
+	if !bytes.Equal(payload, []byte{0xde, 0xad}) {
+		t.Errorf("payload = %x", payload)
+	}
+	if got.Src.String() != "00:11:22:33:44:55" {
+		t.Errorf("MAC string = %q", got.Src)
+	}
+}
+
+func TestEthernetTruncated(t *testing.T) {
+	var e Ethernet
+	if _, err := e.DecodeFromBytes(make([]byte, 13)); !errors.Is(err, ErrTruncated) {
+		t.Errorf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestIPv4RoundTrip(t *testing.T) {
+	ip := IPv4{
+		TOS:      0x10,
+		ID:       0xbeef,
+		Flags:    IPv4DontFragment,
+		TTL:      64,
+		Protocol: IPProtoTCP,
+		Src:      [4]byte{10, 0, 0, 1},
+		Dst:      [4]byte{192, 168, 1, 2},
+	}
+	payload := []byte("hello world!")
+	raw := ip.AppendTo(nil, len(payload))
+	raw = append(raw, payload...)
+
+	var got IPv4
+	gotPayload, err := got.DecodeFromBytes(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotPayload, payload) {
+		t.Errorf("payload = %q", gotPayload)
+	}
+	if got.Src != ip.Src || got.Dst != ip.Dst || got.TTL != 64 ||
+		got.Protocol != IPProtoTCP || got.ID != 0xbeef ||
+		got.Flags != IPv4DontFragment || got.TOS != 0x10 {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if got.TotalLen != uint16(IPv4HeaderLen+len(payload)) {
+		t.Errorf("TotalLen = %d", got.TotalLen)
+	}
+	if !got.VerifyChecksum(raw) {
+		t.Error("checksum does not verify")
+	}
+	// Corrupt a byte: checksum must fail.
+	raw[8] ^= 0xff
+	if got.VerifyChecksum(raw) {
+		t.Error("corrupted header verified")
+	}
+}
+
+func TestIPv4Options(t *testing.T) {
+	ip := IPv4{TTL: 1, Protocol: IPProtoUDP, Options: []byte{1, 1, 1, 1}}
+	raw := ip.AppendTo(nil, 0)
+	if len(raw) != 24 {
+		t.Fatalf("encoded %d bytes, want 24", len(raw))
+	}
+	var got IPv4
+	if _, err := got.DecodeFromBytes(raw); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Options, []byte{1, 1, 1, 1}) {
+		t.Errorf("options = %x", got.Options)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unaligned options should panic on encode")
+		}
+	}()
+	bad := IPv4{Options: []byte{1}}
+	bad.AppendTo(nil, 0)
+}
+
+func TestIPv4TotalLenTruncatesPadding(t *testing.T) {
+	ip := IPv4{TTL: 64, Protocol: IPProtoTCP}
+	raw := ip.AppendTo(nil, 3)
+	raw = append(raw, 'a', 'b', 'c')
+	// Ethernet minimum-frame padding after the IP datagram:
+	raw = append(raw, 0, 0, 0, 0)
+	var got IPv4
+	payload, err := got.DecodeFromBytes(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(payload) != "abc" {
+		t.Errorf("payload = %q, want abc (padding stripped)", payload)
+	}
+}
+
+func TestIPv4Malformed(t *testing.T) {
+	var ip IPv4
+	if _, err := ip.DecodeFromBytes(make([]byte, 10)); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short: %v", err)
+	}
+	bad := make([]byte, 20)
+	bad[0] = 0x60 // version 6
+	if _, err := ip.DecodeFromBytes(bad); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("version: %v", err)
+	}
+	bad[0] = 0x42 // IHL 2 (8 bytes) < 20
+	if _, err := ip.DecodeFromBytes(bad); !errors.Is(err, ErrBadHeader) {
+		t.Errorf("IHL: %v", err)
+	}
+	bad[0] = 0x4f // IHL 15 (60 bytes) > buffer
+	if _, err := ip.DecodeFromBytes(bad); !errors.Is(err, ErrTruncated) {
+		t.Errorf("IHL overflow: %v", err)
+	}
+}
+
+func TestIPv6RoundTrip(t *testing.T) {
+	ip := IPv6{
+		TrafficClass: 0xab,
+		FlowLabel:    0xcdef1,
+		NextHeader:   IPProtoTCP,
+		HopLimit:     255,
+	}
+	ip.Src[15] = 1
+	ip.Dst[0] = 0xfe
+	payload := []byte{1, 2, 3}
+	raw := ip.AppendTo(nil, len(payload))
+	raw = append(raw, payload...)
+	var got IPv6
+	gotPayload, err := got.DecodeFromBytes(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TrafficClass != 0xab || got.FlowLabel != 0xcdef1 ||
+		got.NextHeader != IPProtoTCP || got.HopLimit != 255 ||
+		got.Src != ip.Src || got.Dst != ip.Dst {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if got.PayloadLen != 3 || !bytes.Equal(gotPayload, payload) {
+		t.Errorf("payload: len=%d %x", got.PayloadLen, gotPayload)
+	}
+}
+
+func TestIPv6Malformed(t *testing.T) {
+	var ip IPv6
+	if _, err := ip.DecodeFromBytes(make([]byte, 39)); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short: %v", err)
+	}
+	bad := make([]byte, 40)
+	bad[0] = 0x40
+	if _, err := ip.DecodeFromBytes(bad); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("version: %v", err)
+	}
+}
+
+func TestTCPFlagString(t *testing.T) {
+	if got := (FlagSYN | FlagACK).String(); got != "SA" {
+		t.Errorf("flags = %q", got)
+	}
+	if got := TCPFlags(0).String(); got != "." {
+		t.Errorf("zero flags = %q", got)
+	}
+	if !(FlagSYN | FlagACK).Has(FlagSYN) {
+		t.Error("Has(SYN) = false")
+	}
+	if (FlagSYN).Has(FlagSYN | FlagACK) {
+		t.Error("Has should require all bits")
+	}
+}
+
+func TestTCPRoundTripBasic(t *testing.T) {
+	h := TCPHeader{
+		SrcPort: 443, DstPort: 51234,
+		Seq: 0xdeadbeef, Ack: 0x01020304,
+		Flags: FlagACK | FlagPSH, Window: 65535, Urgent: 7,
+	}
+	payload := []byte("GET / HTTP/1.1\r\n")
+	raw := h.AppendTo(nil, payload, checksumContext{})
+	var got TCPHeader
+	gotPayload, err := got.DecodeFromBytes(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotPayload, payload) {
+		t.Errorf("payload = %q", gotPayload)
+	}
+	if got.SrcPort != h.SrcPort || got.DstPort != h.DstPort ||
+		got.Seq != h.Seq || got.Ack != h.Ack || got.Flags != h.Flags ||
+		got.Window != h.Window || got.Urgent != h.Urgent {
+		t.Errorf("round trip: got %+v, want %+v", got, h)
+	}
+	if got.HeaderLen() != 20 {
+		t.Errorf("HeaderLen = %d", got.HeaderLen())
+	}
+}
+
+func TestTCPRoundTripAllOptions(t *testing.T) {
+	h := TCPHeader{
+		SrcPort: 80, DstPort: 12345,
+		Seq: 1000, Ack: 2000, Flags: FlagSYN | FlagACK, Window: 5840,
+		Options: TCPOptions{
+			MSS: 1460, HasMSS: true,
+			WScale: 7, HasWScale: true,
+			SACKPermitted: true,
+			TSVal:         111111, TSEcr: 222222, HasTimestamps: true,
+		},
+	}
+	raw := h.AppendTo(nil, nil, checksumContext{})
+	var got TCPHeader
+	if _, err := got.DecodeFromBytes(raw); err != nil {
+		t.Fatal(err)
+	}
+	o := got.Options
+	if !o.HasMSS || o.MSS != 1460 {
+		t.Errorf("MSS: %+v", o)
+	}
+	if !o.HasWScale || o.WScale != 7 {
+		t.Errorf("WScale: %+v", o)
+	}
+	if !o.SACKPermitted {
+		t.Error("SACKPermitted lost")
+	}
+	if !o.HasTimestamps || o.TSVal != 111111 || o.TSEcr != 222222 {
+		t.Errorf("timestamps: %+v", o)
+	}
+}
+
+func TestTCPSACKBlocks(t *testing.T) {
+	h := TCPHeader{
+		SrcPort: 1, DstPort: 2, Flags: FlagACK, Ack: 5000,
+		Options: TCPOptions{SACK: []SACKBlock{
+			{Left: 6000, Right: 7000},
+			{Left: 8000, Right: 9000},
+			{Left: 10000, Right: 11000},
+		}},
+	}
+	raw := h.AppendTo(nil, nil, checksumContext{})
+	var got TCPHeader
+	if _, err := got.DecodeFromBytes(raw); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Options.SACK) != 3 {
+		t.Fatalf("SACK blocks = %d", len(got.Options.SACK))
+	}
+	for i, want := range h.Options.SACK {
+		if got.Options.SACK[i] != want {
+			t.Errorf("SACK[%d] = %+v, want %+v", i, got.Options.SACK[i], want)
+		}
+	}
+}
+
+func TestTCPSACKBlockLimit(t *testing.T) {
+	blocks := make([]SACKBlock, 6)
+	for i := range blocks {
+		blocks[i] = SACKBlock{Left: uint32(i * 100), Right: uint32(i*100 + 50)}
+	}
+	h := TCPHeader{Flags: FlagACK, Options: TCPOptions{SACK: blocks}}
+	raw := h.AppendTo(nil, nil, checksumContext{})
+	var got TCPHeader
+	if _, err := got.DecodeFromBytes(raw); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Options.SACK) != MaxSACKBlocks {
+		t.Errorf("encoded %d SACK blocks, want cap at %d", len(got.Options.SACK), MaxSACKBlocks)
+	}
+}
+
+func TestTCPChecksumV4(t *testing.T) {
+	src := [4]byte{10, 1, 1, 1}
+	dst := [4]byte{10, 2, 2, 2}
+	h := TCPHeader{SrcPort: 80, DstPort: 999, Seq: 1, Flags: FlagACK, Window: 100}
+	payload := []byte("payload-bytes")
+	segLen := h.HeaderLen() + len(payload)
+	raw := h.AppendTo(nil, payload, V4Context(src, dst, segLen))
+	if !VerifyChecksum(raw, V4Context(src, dst, segLen)) {
+		t.Error("good segment does not verify")
+	}
+	raw[len(raw)-1] ^= 1
+	if VerifyChecksum(raw, V4Context(src, dst, segLen)) {
+		t.Error("corrupted segment verified")
+	}
+}
+
+func TestTCPChecksumV6(t *testing.T) {
+	var src, dst [16]byte
+	src[15], dst[15] = 1, 2
+	h := TCPHeader{SrcPort: 443, DstPort: 1000, Flags: FlagSYN}
+	segLen := h.HeaderLen()
+	raw := h.AppendTo(nil, nil, V6Context(src, dst, segLen))
+	if !VerifyChecksum(raw, V6Context(src, dst, segLen)) {
+		t.Error("v6 segment does not verify")
+	}
+}
+
+func TestTCPDecodeMalformed(t *testing.T) {
+	var h TCPHeader
+	if _, err := h.DecodeFromBytes(make([]byte, 19)); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short: %v", err)
+	}
+	bad := make([]byte, 20)
+	bad[12] = 0x40 // data offset 4 words = 16 bytes < 20
+	if _, err := h.DecodeFromBytes(bad); !errors.Is(err, ErrBadHeader) {
+		t.Errorf("offset: %v", err)
+	}
+	bad[12] = 0xf0 // 60 bytes > buffer
+	if _, err := h.DecodeFromBytes(bad); !errors.Is(err, ErrTruncated) {
+		t.Errorf("offset overflow: %v", err)
+	}
+	// Option with bad length byte.
+	withOpt := make([]byte, 24)
+	withOpt[12] = 0x60 // 24-byte header
+	withOpt[20] = OptKindMSS
+	withOpt[21] = 200 // longer than remaining option space
+	if _, err := h.DecodeFromBytes(withOpt); !errors.Is(err, ErrBadHeader) {
+		t.Errorf("bad option len: %v", err)
+	}
+	// EOL terminates option parsing cleanly.
+	withOpt[20] = OptKindEOL
+	withOpt[21] = 0
+	if _, err := h.DecodeFromBytes(withOpt); err != nil {
+		t.Errorf("EOL: %v", err)
+	}
+	// Unknown option is skipped.
+	withOpt[20] = 254
+	withOpt[21] = 4
+	if _, err := h.DecodeFromBytes(withOpt); err != nil {
+		t.Errorf("unknown option: %v", err)
+	}
+}
+
+func TestFrameTCPv4(t *testing.T) {
+	eth := Ethernet{Src: MAC{1}, Dst: MAC{2}}
+	ip := IPv4{TTL: 64, Src: [4]byte{1, 2, 3, 4}, Dst: [4]byte{5, 6, 7, 8}}
+	tcp := TCPHeader{SrcPort: 80, DstPort: 5555, Seq: 42, Flags: FlagACK | FlagPSH, Window: 1000}
+	payload := []byte("response body")
+	raw := EncodeTCPv4(&eth, &ip, &tcp, payload)
+
+	var f Frame
+	if err := f.Decode(raw); err != nil {
+		t.Fatal(err)
+	}
+	if !f.HasTCP || f.IsIPv6 {
+		t.Fatalf("HasTCP=%v IsIPv6=%v", f.HasTCP, f.IsIPv6)
+	}
+	if f.TCP.SrcPort != 80 || f.TCP.Seq != 42 {
+		t.Errorf("TCP = %+v", f.TCP)
+	}
+	if string(f.Payload) != "response body" {
+		t.Errorf("payload = %q", f.Payload)
+	}
+	if f.IP4.Src != ip.Src || f.IP4.Dst != ip.Dst {
+		t.Errorf("IP = %+v", f.IP4)
+	}
+	if !f.IP4.VerifyChecksum(raw[EthernetHeaderLen:]) {
+		t.Error("IP checksum")
+	}
+	segLen := f.TCP.HeaderLen() + len(f.Payload)
+	if !VerifyChecksum(raw[EthernetHeaderLen+f.IP4.HeaderLen():],
+		V4Context(f.IP4.Src, f.IP4.Dst, segLen)) {
+		t.Error("TCP checksum")
+	}
+}
+
+func TestFrameTCPv6(t *testing.T) {
+	eth := Ethernet{}
+	ip := IPv6{HopLimit: 64}
+	ip.Src[0], ip.Dst[0] = 0x20, 0x20
+	tcp := TCPHeader{SrcPort: 443, DstPort: 1234, Flags: FlagSYN,
+		Options: TCPOptions{MSS: 1440, HasMSS: true}}
+	raw := EncodeTCPv6(&eth, &ip, &tcp, nil)
+	var f Frame
+	if err := f.Decode(raw); err != nil {
+		t.Fatal(err)
+	}
+	if !f.HasTCP || !f.IsIPv6 {
+		t.Fatalf("HasTCP=%v IsIPv6=%v", f.HasTCP, f.IsIPv6)
+	}
+	if !f.TCP.Options.HasMSS || f.TCP.Options.MSS != 1440 {
+		t.Errorf("options = %+v", f.TCP.Options)
+	}
+}
+
+func TestFrameNonTCP(t *testing.T) {
+	eth := Ethernet{Type: EtherTypeIPv4}
+	ip := IPv4{TTL: 1, Protocol: IPProtoUDP}
+	buf := eth.AppendTo(nil)
+	buf = ip.AppendTo(buf, 0)
+	var f Frame
+	if err := f.Decode(buf); err != nil {
+		t.Fatal(err)
+	}
+	if f.HasTCP {
+		t.Error("UDP frame claims TCP")
+	}
+}
+
+func TestFrameUnsupportedEtherType(t *testing.T) {
+	eth := Ethernet{Type: 0x0806} // ARP
+	buf := eth.AppendTo(nil)
+	var f Frame
+	if err := f.Decode(buf); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// Property: TCP header round-trips through encode/decode for
+// arbitrary field values and option subsets.
+func TestPropertyTCPRoundTrip(t *testing.T) {
+	f := func(srcPort, dstPort uint16, seq, ack uint32, flags uint8,
+		window uint16, mss uint16, wscale uint8, hasMSS, hasWS, sackPerm, hasTS bool,
+		tsval, tsecr uint32, nsack uint8) bool {
+		h := TCPHeader{
+			SrcPort: srcPort, DstPort: dstPort, Seq: seq, Ack: ack,
+			Flags: TCPFlags(flags), Window: window,
+			Options: TCPOptions{
+				MSS: mss, HasMSS: hasMSS,
+				WScale: wscale, HasWScale: hasWS,
+				SACKPermitted: sackPerm,
+				TSVal:         tsval, TSEcr: tsecr, HasTimestamps: hasTS,
+			},
+		}
+		if !hasMSS {
+			h.Options.MSS = 0
+		}
+		if !hasWS {
+			h.Options.WScale = 0
+		}
+		if !hasTS {
+			h.Options.TSVal, h.Options.TSEcr = 0, 0
+		}
+		n := int(nsack % (MaxSACKBlocks + 1))
+		for i := 0; i < n; i++ {
+			h.Options.SACK = append(h.Options.SACK,
+				SACKBlock{Left: seq + uint32(i)*1000, Right: seq + uint32(i)*1000 + 500})
+		}
+		raw := h.AppendTo(nil, nil, checksumContext{})
+		var got TCPHeader
+		if _, err := got.DecodeFromBytes(raw); err != nil {
+			return false
+		}
+		got.Checksum = 0
+		if got.SrcPort != h.SrcPort || got.DstPort != h.DstPort ||
+			got.Seq != h.Seq || got.Ack != h.Ack ||
+			got.Flags != h.Flags || got.Window != h.Window {
+			return false
+		}
+		o, w := got.Options, h.Options
+		if o.HasMSS != w.HasMSS || o.MSS != w.MSS ||
+			o.HasWScale != w.HasWScale || o.WScale != w.WScale ||
+			o.SACKPermitted != w.SACKPermitted ||
+			o.HasTimestamps != w.HasTimestamps || o.TSVal != w.TSVal || o.TSEcr != w.TSEcr {
+			return false
+		}
+		if len(o.SACK) != h.sackBlocksThatFit() {
+			return false
+		}
+		for i := range o.SACK {
+			if o.SACK[i] != w.SACK[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: decoder never panics on arbitrary bytes.
+func TestPropertyDecodeNoPanic(t *testing.T) {
+	f := func(data []byte) bool {
+		var fr Frame
+		_ = fr.Decode(data)
+		var tcp TCPHeader
+		_, _ = tcp.DecodeFromBytes(data)
+		var ip IPv4
+		_, _ = ip.DecodeFromBytes(data)
+		var ip6 IPv6
+		_, _ = ip6.DecodeFromBytes(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: checksummed v4 frames always verify; flipping any byte of
+// the TCP segment breaks verification.
+func TestPropertyChecksumDetectsCorruption(t *testing.T) {
+	f := func(seq uint32, payload []byte, flip uint16) bool {
+		if len(payload) > 1200 {
+			payload = payload[:1200]
+		}
+		src := [4]byte{192, 0, 2, 1}
+		dst := [4]byte{192, 0, 2, 2}
+		h := TCPHeader{SrcPort: 1, DstPort: 2, Seq: seq, Flags: FlagACK}
+		segLen := h.HeaderLen() + len(payload)
+		ctx := V4Context(src, dst, segLen)
+		raw := h.AppendTo(nil, payload, ctx)
+		if !VerifyChecksum(raw, ctx) {
+			return false
+		}
+		// XOR-ing one byte with 0x55 changes its 16-bit word by less
+		// than 0xffff in magnitude, so it can never alias in
+		// one's-complement arithmetic: verification must fail.
+		i := int(flip) % len(raw)
+		raw[i] ^= 0x55
+		return !VerifyChecksum(raw, ctx)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTCPHeaderString(t *testing.T) {
+	h := TCPHeader{SrcPort: 80, DstPort: 1234, Seq: 5, Ack: 6, Flags: FlagACK, Window: 7}
+	want := "80 > 1234 [A] seq=5 ack=6 win=7"
+	if got := h.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestIPProtoString(t *testing.T) {
+	if IPProtoTCP.String() != "TCP" || IPProtoUDP.String() != "UDP" {
+		t.Error("proto strings")
+	}
+	if IPProto(99).String() != "proto(99)" {
+		t.Errorf("unknown proto = %q", IPProto(99).String())
+	}
+}

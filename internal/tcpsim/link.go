@@ -1,0 +1,19 @@
+package tcpsim
+
+import (
+	"tcpstall/internal/netem"
+	"tcpstall/internal/sim"
+)
+
+// NewLinkedConn builds a connection over a netem path pair (down:
+// server→client, up: client→server), wiring delivery callbacks in
+// both directions.
+func NewLinkedConn(s *sim.Simulator, cfg ConnConfig, down, up *netem.Path, sink TraceSink) *Conn {
+	c := NewConn(s, cfg, PathPair{
+		Down: func(seg *Segment, size int) { down.Send(seg, size) },
+		Up:   func(seg *Segment, size int) { up.Send(seg, size) },
+	}, sink)
+	down.Deliver = c.ClientDeliver
+	up.Deliver = c.ServerDeliver
+	return c
+}

@@ -1,0 +1,40 @@
+package tcpsim
+
+// Recovery is the pluggable loss-recovery strategy interface. The
+// paper's evaluation switches the production servers between native
+// Linux, TLP and S-RTO via sysctl; here a strategy attaches to a
+// Sender and observes its transmissions, ACKs and timeouts, arming
+// its own probe timers and driving retransmissions through the
+// Sender's exported probe methods.
+type Recovery interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// Attach binds the strategy to its sender. Called once, by
+	// Sender.SetRecovery.
+	Attach(s *Sender)
+	// OnSent fires after every data transmission.
+	OnSent(isRetrans bool)
+	// OnAck fires after every processed incoming ACK.
+	OnAck()
+	// OnRTO fires after a retransmission timeout was handled.
+	OnRTO()
+}
+
+// NativeRecovery is the do-nothing strategy: plain RFC 6298 + fast
+// retransmit, exactly what the paper's unmodified servers ran.
+type NativeRecovery struct{}
+
+// Name implements Recovery.
+func (NativeRecovery) Name() string { return "linux" }
+
+// Attach implements Recovery.
+func (NativeRecovery) Attach(*Sender) {}
+
+// OnSent implements Recovery.
+func (NativeRecovery) OnSent(bool) {}
+
+// OnAck implements Recovery.
+func (NativeRecovery) OnAck() {}
+
+// OnRTO implements Recovery.
+func (NativeRecovery) OnRTO() {}

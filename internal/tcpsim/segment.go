@@ -1,0 +1,117 @@
+// Package tcpsim models a server-side TCP connection at segment
+// granularity: a full-featured data sender (congestion control,
+// RFC 6298 retransmission timer, SACK scoreboard, the Linux 4-state
+// congestion state machine) facing a client receiver (out-of-order
+// reassembly, delayed ACKs, SACK/DSACK generation, finite receive
+// buffer with zero-window behaviour) over a pair of netem paths.
+//
+// It is the stand-in for the production Linux 2.6.32 stack the paper
+// measured: every stall class the paper's TAPO classifier knows —
+// data-unavailable, resource-constraint, client-idle, zero-window,
+// packet-delay and the six timeout-retransmission sub-causes — arises
+// organically from these mechanisms under the right workload.
+package tcpsim
+
+import (
+	"fmt"
+
+	"tcpstall/internal/packet"
+	"tcpstall/internal/sim"
+)
+
+// Dir distinguishes the two directions as seen from the server.
+type Dir int
+
+// Directions of travel relative to the server.
+const (
+	DirOut Dir = iota // server → client
+	DirIn             // client → server
+)
+
+func (d Dir) String() string {
+	if d == DirOut {
+		return "out"
+	}
+	return "in"
+}
+
+// Segment is the unit exchanged between the endpoints. Sequence
+// numbers are absolute byte offsets in each direction's stream,
+// starting at 0 for the SYN (the SYN and FIN each consume one
+// sequence number, as in real TCP).
+type Segment struct {
+	Flags packet.TCPFlags
+	// Seq is the first stream byte carried (sender's direction).
+	Seq uint32
+	// Ack is the next expected byte of the opposite direction
+	// (valid when FlagACK set).
+	Ack uint32
+	// Len is the payload length in bytes (0 for pure ACKs).
+	Len int
+	// Wnd is the advertised receive window in bytes.
+	Wnd int
+	// SACK carries selective acknowledgment blocks; a DSACK is
+	// signalled by a first block at or below Ack.
+	SACK []packet.SACKBlock
+	// TSVal is the sender's clock at transmit time and TSEcr the
+	// echoed peer timestamp (RFC 7323). The simulator uses virtual
+	// time directly; the trace exporter converts to millisecond
+	// ticks. A zero TSEcr means "nothing to echo".
+	TSVal sim.Time
+	TSEcr sim.Time
+}
+
+// End reports Seq + Len (+1 for SYN/FIN).
+func (s *Segment) End() uint32 {
+	e := s.Seq + uint32(s.Len)
+	if s.Flags.Has(packet.FlagSYN) || s.Flags.Has(packet.FlagFIN) {
+		e++
+	}
+	return e
+}
+
+// WireSize estimates the frame's on-the-wire size for bandwidth
+// accounting: Ethernet + IPv4 + TCP (with SACK options) + payload.
+func (s *Segment) WireSize() int {
+	n := packet.EthernetHeaderLen + packet.IPv4HeaderLen + packet.TCPHeaderLen + s.Len
+	if len(s.SACK) > 0 {
+		blocks := len(s.SACK)
+		if blocks > packet.MaxSACKBlocks {
+			blocks = packet.MaxSACKBlocks
+		}
+		n += 4 + 8*blocks // kind+len+2 NOPs alignment, blocks
+	}
+	return n
+}
+
+func (s *Segment) String() string {
+	return fmt.Sprintf("[%s] seq=%d len=%d ack=%d wnd=%d sack=%v",
+		s.Flags, s.Seq, s.Len, s.Ack, s.Wnd, s.SACK)
+}
+
+// CongState is the Linux congestion-avoidance machine state
+// (tcp_ca_state).
+type CongState int
+
+// The four states of Figure 4.
+const (
+	StateOpen CongState = iota
+	StateDisorder
+	StateRecovery
+	StateLoss
+)
+
+func (s CongState) String() string {
+	switch s {
+	case StateOpen:
+		return "Open"
+	case StateDisorder:
+		return "Disorder"
+	case StateRecovery:
+		return "Recovery"
+	case StateLoss:
+		return "Loss"
+	default:
+		return fmt.Sprintf("CongState(%d)", int(s))
+	}
+}

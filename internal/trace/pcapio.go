@@ -1,0 +1,323 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"tcpstall/internal/packet"
+	"tcpstall/internal/pcap"
+	"tcpstall/internal/sim"
+	"tcpstall/internal/tcpsim"
+)
+
+const synFlag = packet.FlagSYN
+
+// ExportConfig controls pcap generation.
+type ExportConfig struct {
+	// ServerIP/ServerPort are the server endpoint written into every
+	// frame. Defaults: 10.0.0.1:80.
+	ServerIP   [4]byte
+	ServerPort uint16
+	// BaseTime anchors sim time 0 to an absolute capture time.
+	// Defaults to 2014-12-22 18:00 UTC (the dataset's first day).
+	BaseTime time.Time
+	// Snaplen caps captured bytes per frame (default: full frames).
+	Snaplen uint32
+}
+
+func (c *ExportConfig) defaults() {
+	if c.ServerIP == ([4]byte{}) {
+		c.ServerIP = [4]byte{10, 0, 0, 1}
+	}
+	if c.ServerPort == 0 {
+		c.ServerPort = 80
+	}
+	if c.BaseTime.IsZero() {
+		c.BaseTime = time.Date(2014, 12, 22, 18, 0, 0, 0, time.UTC)
+	}
+}
+
+// clientAddr derives a distinct client endpoint for flow index i.
+func clientAddr(i int) ([4]byte, uint16) {
+	ip := [4]byte{100, byte(64 + (i>>14)&0x3f), byte((i >> 7) & 0x7f), byte(1 + i&0x7f)}
+	port := uint16(10000 + i%50000)
+	return ip, port
+}
+
+// tsTicks converts virtual time to RFC 7323 millisecond ticks,
+// offset so tick 0 is distinguishable from "no timestamp".
+func tsTicks(t sim.Time) uint32 {
+	if t == 0 {
+		return 0
+	}
+	return uint32(time.Duration(t)/time.Millisecond) + 1
+}
+
+func ticksToTime(ticks uint32) sim.Time {
+	if ticks == 0 {
+		return 0
+	}
+	return sim.Time(time.Duration(ticks-1) * time.Millisecond)
+}
+
+// ExportPcap writes flows as one Ethernet/IPv4/TCP capture. Payloads
+// are zero-filled to the recorded lengths, so the file opens in
+// tcpdump/tshark with correct sequence analysis.
+func ExportPcap(w io.Writer, flows []*Flow, cfg ExportConfig) error {
+	cfg.defaults()
+	hdr := pcap.Header{LinkType: pcap.LinkTypeEthernet, Snaplen: cfg.Snaplen, Nanosecond: true}
+	pw, err := pcap.NewWriterHeader(w, hdr)
+	if err != nil {
+		return err
+	}
+	serverMAC := packet.MAC{0x02, 0, 0, 0, 0, 1}
+	clientMAC := packet.MAC{0x02, 0, 0, 0, 0, 2}
+
+	// Merge all records into one timeline for a realistic capture.
+	type item struct {
+		t    sim.Time
+		flow int
+		rec  *Record
+	}
+	var items []item
+	for fi, f := range flows {
+		for ri := range f.Records {
+			items = append(items, item{f.Records[ri].T, fi, &f.Records[ri]})
+		}
+	}
+	// Stable sort by time (preserves intra-flow order).
+	sort.SliceStable(items, func(i, j int) bool { return items[i].t < items[j].t })
+
+	var ipID uint16
+	for _, it := range items {
+		f := flows[it.flow]
+		cip, cport := clientAddr(it.flow)
+		r := it.rec
+		tcp := packet.TCPHeader{
+			Seq:    r.Seg.Seq,
+			Ack:    r.Seg.Ack,
+			Flags:  r.Seg.Flags,
+			Window: clampU16(r.Seg.Wnd),
+		}
+		if r.Seg.TSVal != 0 || r.Seg.TSEcr != 0 {
+			tcp.Options.HasTimestamps = true
+			tcp.Options.TSVal = tsTicks(r.Seg.TSVal)
+			tcp.Options.TSEcr = tsTicks(r.Seg.TSEcr)
+		}
+		if len(r.Seg.SACK) > 0 {
+			tcp.Options.SACK = append(tcp.Options.SACK, r.Seg.SACK...)
+		}
+		if r.Seg.Flags.Has(packet.FlagSYN) {
+			tcp.Options.HasMSS = true
+			tcp.Options.MSS = uint16(mssOf(f))
+			tcp.Options.SACKPermitted = true
+		}
+		var eth packet.Ethernet
+		var ip packet.IPv4
+		ip.TTL = 64
+		ipID++
+		ip.ID = ipID
+		if r.Dir == tcpsim.DirOut {
+			eth.Src, eth.Dst = serverMAC, clientMAC
+			ip.Src, ip.Dst = cfg.ServerIP, cip
+			tcp.SrcPort, tcp.DstPort = cfg.ServerPort, cport
+		} else {
+			eth.Src, eth.Dst = clientMAC, serverMAC
+			ip.Src, ip.Dst = cip, cfg.ServerIP
+			tcp.SrcPort, tcp.DstPort = cport, cfg.ServerPort
+		}
+		payload := make([]byte, r.Seg.Len)
+		frame := packet.EncodeTCPv4(&eth, &ip, &tcp, payload)
+		err := pw.WritePacket(pcap.Packet{
+			Timestamp: cfg.BaseTime.Add(time.Duration(it.t)),
+			Data:      frame,
+		})
+		if err != nil {
+			return fmt.Errorf("exporting flow %s: %w", f.ID, err)
+		}
+	}
+	return nil
+}
+
+func mssOf(f *Flow) int {
+	if f.MSS > 0 {
+		return f.MSS
+	}
+	return 1460
+}
+
+func clampU16(v int) uint16 {
+	if v < 0 {
+		return 0
+	}
+	if v > 65535 {
+		return 65535
+	}
+	return uint16(v)
+}
+
+// ImportConfig controls pcap parsing.
+type ImportConfig struct {
+	// ServerPort identifies the server side of each connection
+	// (default 80). Frames with this source port are DirOut.
+	ServerPort uint16
+}
+
+// ImportPcap reads a capture and reassembles per-connection flows
+// from the server's vantage point. Ethernet and raw-IP link types are
+// supported; IPv4 and IPv6 frames both decode. Non-TCP frames are
+// skipped.
+func ImportPcap(r io.Reader, cfg ImportConfig) ([]*Flow, error) {
+	if cfg.ServerPort == 0 {
+		cfg.ServerPort = 80
+	}
+	pr, err := pcap.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	raw := pr.Header().LinkType == pcap.LinkTypeRaw
+	type key struct {
+		ip   [16]byte // IPv4 addresses mapped into the low 4 bytes
+		port uint16
+	}
+	flowsByKey := map[key]*Flow{}
+	var order []key
+	var base time.Time
+	haveBase := false
+
+	for {
+		pkt, err := pr.ReadPacket()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		fr, ok := decodeFrame(pkt.Data, raw)
+		if !ok {
+			continue
+		}
+		var srcIP, dstIP [16]byte
+		var id func(k key) string
+		if fr.IsIPv6 {
+			srcIP, dstIP = fr.IP6.Src, fr.IP6.Dst
+			id = func(k key) string { return fmt.Sprintf("[%x]:%d", k.ip, k.port) }
+		} else {
+			copy(srcIP[:4], fr.IP4.Src[:])
+			copy(dstIP[:4], fr.IP4.Dst[:])
+			id = func(k key) string {
+				return fmt.Sprintf("%d.%d.%d.%d:%d", k.ip[0], k.ip[1], k.ip[2], k.ip[3], k.port)
+			}
+		}
+		var dir tcpsim.Dir
+		var k key
+		switch {
+		case fr.TCP.SrcPort == cfg.ServerPort:
+			dir = tcpsim.DirOut
+			k = key{dstIP, fr.TCP.DstPort}
+		case fr.TCP.DstPort == cfg.ServerPort:
+			dir = tcpsim.DirIn
+			k = key{srcIP, fr.TCP.SrcPort}
+		default:
+			continue
+		}
+		if !haveBase {
+			base = pkt.Timestamp
+			haveBase = true
+		}
+		f, ok := flowsByKey[k]
+		if !ok {
+			f = &Flow{
+				ID:      id(k),
+				Service: "pcap",
+				Done:    true,
+				MSS:     1460,
+			}
+			flowsByKey[k] = f
+			order = append(order, k)
+		}
+		// Payload length from the IP length fields (snaplen-proof).
+		var segLen int
+		if fr.IsIPv6 {
+			segLen = int(fr.IP6.PayloadLen) - fr.TCP.HeaderLen()
+		} else {
+			segLen = int(fr.IP4.TotalLen) - fr.IP4.HeaderLen() - fr.TCP.HeaderLen()
+		}
+		if segLen < 0 {
+			segLen = len(fr.Payload)
+		}
+		seg := tcpsim.Segment{
+			Flags: fr.TCP.Flags,
+			Seq:   fr.TCP.Seq,
+			Ack:   fr.TCP.Ack,
+			Len:   segLen,
+			Wnd:   int(fr.TCP.Window),
+		}
+		if fr.TCP.Options.HasTimestamps {
+			seg.TSVal = ticksToTime(fr.TCP.Options.TSVal)
+			seg.TSEcr = ticksToTime(fr.TCP.Options.TSEcr)
+		}
+		if len(fr.TCP.Options.SACK) > 0 {
+			seg.SACK = append(seg.SACK, fr.TCP.Options.SACK...)
+		}
+		if fr.TCP.Options.HasMSS && fr.TCP.Options.MSS > 0 {
+			f.MSS = int(fr.TCP.Options.MSS)
+		}
+		if dir == tcpsim.DirIn && seg.Flags.Has(packet.FlagSYN) && f.InitRwnd == 0 {
+			f.InitRwnd = seg.Wnd
+		}
+		f.Records = append(f.Records, Record{
+			T:   sim.Time(pkt.Timestamp.Sub(base)),
+			Dir: dir,
+			Seg: seg,
+		})
+	}
+
+	flows := make([]*Flow, 0, len(order))
+	for _, k := range order {
+		flows = append(flows, flowsByKey[k])
+	}
+	return flows, nil
+}
+
+// decodeFrame parses one captured record down to TCP, handling both
+// Ethernet and raw-IP link layers.
+func decodeFrame(data []byte, rawIP bool) (*packet.Frame, bool) {
+	var fr packet.Frame
+	if !rawIP {
+		if err := fr.Decode(data); err != nil || !fr.HasTCP {
+			return nil, false
+		}
+		return &fr, true
+	}
+	if len(data) == 0 {
+		return nil, false
+	}
+	switch data[0] >> 4 {
+	case 4:
+		rest, err := fr.IP4.DecodeFromBytes(data)
+		if err != nil || fr.IP4.Protocol != packet.IPProtoTCP {
+			return nil, false
+		}
+		if _, err := fr.TCP.DecodeFromBytes(rest); err != nil {
+			return nil, false
+		}
+		fr.HasTCP = true
+		return &fr, true
+	case 6:
+		rest, err := fr.IP6.DecodeFromBytes(data)
+		if err != nil || fr.IP6.NextHeader != packet.IPProtoTCP {
+			return nil, false
+		}
+		if _, err := fr.TCP.DecodeFromBytes(rest); err != nil {
+			return nil, false
+		}
+		fr.IsIPv6 = true
+		fr.HasTCP = true
+		return &fr, true
+	default:
+		return nil, false
+	}
+}

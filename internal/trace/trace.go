@@ -1,0 +1,121 @@
+// Package trace defines the server-side packet record format the
+// TAPO analysis consumes, collects records from simulated
+// connections, and converts flows to and from real pcap files so the
+// classifier runs identically on synthetic and captured traffic.
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"tcpstall/internal/sim"
+	"tcpstall/internal/tcpsim"
+)
+
+// Record is one packet as seen at the server NIC.
+type Record struct {
+	T   sim.Time
+	Dir tcpsim.Dir
+	Seg tcpsim.Segment
+}
+
+// IsData reports whether the record carries payload bytes.
+func (r *Record) IsData() bool { return r.Seg.Len > 0 }
+
+// Flow is one TCP connection's server-side record sequence plus
+// metadata the workload layer attaches.
+type Flow struct {
+	// ID identifies the flow in reports.
+	ID string
+	// Service labels the generating service ("cloud-storage", …).
+	Service string
+	// Records in capture order.
+	Records []Record
+	// InitRwnd is the client's SYN-advertised window (bytes); 0 when
+	// no SYN was captured.
+	InitRwnd int
+	// Done reports whether the transfer completed (simulator ground
+	// truth; true for imported pcaps).
+	Done bool
+	// Latency is the simulator-measured flow latency (ground truth
+	// for Table 8); zero for imported pcaps.
+	Latency sim.Duration
+	// MSS for the flow (default 1460).
+	MSS int
+}
+
+// Duration reports last-record time minus first-record time.
+func (f *Flow) Duration() sim.Duration {
+	if len(f.Records) < 2 {
+		return 0
+	}
+	return f.Records[len(f.Records)-1].T.Sub(f.Records[0].T)
+}
+
+// DataBytes sums outgoing payload bytes excluding retransmissions
+// (max contiguous stream coverage).
+func (f *Flow) DataBytes() int64 {
+	var maxEnd uint32
+	var base uint32
+	first := true
+	for i := range f.Records {
+		r := &f.Records[i]
+		if r.Dir != tcpsim.DirOut || r.Seg.Len == 0 {
+			continue
+		}
+		if first {
+			base = r.Seg.Seq
+			first = false
+		}
+		if end := r.Seg.Seq + uint32(r.Seg.Len); end > maxEnd {
+			maxEnd = end
+		}
+	}
+	if first {
+		return 0
+	}
+	return int64(maxEnd - base)
+}
+
+// OutDataPackets counts outgoing payload-carrying records (including
+// retransmissions).
+func (f *Flow) OutDataPackets() int {
+	n := 0
+	for i := range f.Records {
+		if f.Records[i].Dir == tcpsim.DirOut && f.Records[i].Seg.Len > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// SortByTime orders records chronologically (stable).
+func (f *Flow) SortByTime() {
+	sort.SliceStable(f.Records, func(i, j int) bool {
+		return f.Records[i].T < f.Records[j].T
+	})
+}
+
+func (f *Flow) String() string {
+	return fmt.Sprintf("flow %s (%s): %d records, %d data bytes, %.1fs",
+		f.ID, f.Service, len(f.Records), f.DataBytes(), f.Duration().Seconds())
+}
+
+// Collector implements tcpsim.TraceSink, accumulating records into a
+// Flow.
+type Collector struct {
+	Flow *Flow
+}
+
+// NewCollector builds a collector for a new flow.
+func NewCollector(id, service string) *Collector {
+	return &Collector{Flow: &Flow{ID: id, Service: service, MSS: 1460}}
+}
+
+// Record implements tcpsim.TraceSink.
+func (c *Collector) Record(t sim.Time, dir tcpsim.Dir, seg tcpsim.Segment) {
+	c.Flow.Records = append(c.Flow.Records, Record{T: t, Dir: dir, Seg: seg})
+	if dir == tcpsim.DirIn && seg.Flags.Has(synFlag) && c.Flow.InitRwnd == 0 {
+		c.Flow.InitRwnd = seg.Wnd
+	}
+}

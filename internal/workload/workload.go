@@ -1,0 +1,538 @@
+// Package workload models the three Qihoo 360 services the paper
+// measured — cloud storage, software download and web search — as
+// distributions over flow sizes, request patterns, path
+// characteristics (RTT, jitter, bursty loss, bottleneck queues) and
+// client behaviours (initial receive window, delayed-ACK timer,
+// application read rate). Each model is calibrated against Table 1
+// and the client pathologies of Sections 3–4 (Figure 6 init-rwnd
+// mixture, 500ms delayed ACKs, slow readers).
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"tcpstall/internal/netem"
+	"tcpstall/internal/sim"
+	"tcpstall/internal/tcpsim"
+	"tcpstall/internal/trace"
+)
+
+// WeightedInt is a value with a selection weight.
+type WeightedInt struct {
+	Value  int
+	Weight float64
+}
+
+// WeightedDur is a duration with a selection weight.
+type WeightedDur struct {
+	Value  time.Duration
+	Weight float64
+}
+
+func pickInt(rng *sim.RNG, choices []WeightedInt) int {
+	w := make([]float64, len(choices))
+	for i, c := range choices {
+		w[i] = c.Weight
+	}
+	return choices[rng.Choice(w)].Value
+}
+
+func pickDur(rng *sim.RNG, choices []WeightedDur) time.Duration {
+	w := make([]float64, len(choices))
+	for i, c := range choices {
+		w[i] = c.Weight
+	}
+	return choices[rng.Choice(w)].Value
+}
+
+// Service is a generative model of one front-end service.
+type Service struct {
+	// Name labels flows ("cloud-storage", "software-download",
+	// "web-search").
+	Name string
+
+	// DefaultFlows is the dataset size the experiments use, scaled
+	// down from the paper's 2.2M/0.9M/3.3M in the same proportions.
+	DefaultFlows int
+
+	// Request/response model.
+	RequestsMin, RequestsMax int     // files per connection
+	RespSizeMean             float64 // bytes, log-normal mean
+	RespSizeSigma            float64
+	RespSizeMin, RespSizeMax int64
+	IdleMean                 time.Duration // think time between requests (long tail)
+	// IdleLongProb is the fraction of think times drawn from the
+	// long-tail IdleMean; the rest are short (sub-threshold).
+	IdleLongProb  float64
+	HeadDelayProb float64 // P(back-end fetch delay)
+	HeadDelayMean time.Duration
+	PauseProb     float64 // P(mid-response server stall)
+	PauseMean     time.Duration
+
+	// Path model.
+	RTTMean    time.Duration // log-normal per-flow base RTT
+	RTTSigma   float64
+	RTTMin     time.Duration
+	JitterFrac float64 // per-packet jitter as a fraction of RTT
+	// WirelessProb flows ride an access link with heavy-tailed
+	// exponential jitter (mean WirelessJitterRTT × one-way delay per
+	// direction), inflating RTTVAR and the RTO far above the RTT.
+	WirelessProb      float64
+	WirelessJitterRTT float64
+	// ReorderProb/ReorderExtraRTT model occasional heavy per-packet
+	// delay (as a multiple of the one-way delay) — the source of the
+	// paper's numerous short packet-delay stalls.
+	ReorderProb     float64
+	ReorderExtraRTT float64
+	// Delay spikes on the ACK path (mean interval / extra-delay as a
+	// multiple of the flow RTT / duration): RTT-variation episodes.
+	SpikeEvery    time.Duration
+	SpikeExtraRTT float64
+	SpikeDur      time.Duration
+	// Loss bursts on the data path (outage episodes at the
+	// bottleneck): mean interval / duration / in-burst drop rate.
+	BurstEvery  time.Duration
+	BurstDur    time.Duration
+	BurstLossP  float64
+	LossGB      float64 // Gilbert-Elliott P(good→bad), scales loss rate
+	LossBG      float64
+	LossBad     float64
+	AckLossProb float64 // uplink Bernoulli ACK loss
+	// Bandwidth bounds the downlink (bytes/s, log-normal);
+	// QueueLimit the bottleneck buffer in packets.
+	BandwidthMean  float64
+	BandwidthSigma float64
+	QueueLimit     int
+
+	// Client model.
+	InitRwndMSS []WeightedInt // Figure 6 mixture (in MSS)
+	BufAutoTune bool          // modern clients grow the buffer
+	DelAck      []WeightedDur
+	// SlowReaderProb clients drain at SlowReadFrac × bandwidth
+	// (disk-bound old client software) and stall reading entirely
+	// every ReadPauseEvery for ReadPauseMean (disk flushes) — the
+	// behaviour behind zero-window stalls.
+	SlowReaderProb float64
+	SlowReadFrac   float64
+	ReadPauseEvery time.Duration
+	ReadPauseMean  time.Duration
+
+	// MSS for all flows.
+	MSS int
+}
+
+// CloudStorage returns the cloud-storage model: large multi-file
+// transfers over shared connections (1.7MB average), 143ms RTT, ~4%
+// bursty loss, mostly modern clients.
+func CloudStorage() Service {
+	return Service{
+		Name:          "cloud-storage",
+		DefaultFlows:  1100,
+		RequestsMin:   1,
+		RequestsMax:   4,
+		RespSizeMean:  850_000,
+		RespSizeSigma: 1.1,
+		RespSizeMin:   8_000,
+		RespSizeMax:   20_000_000,
+		IdleMean:      2500 * time.Millisecond,
+		IdleLongProb:  0.10,
+		HeadDelayProb: 0.55,
+		HeadDelayMean: 450 * time.Millisecond,
+		PauseProb:     0.10,
+		PauseMean:     450 * time.Millisecond,
+
+		RTTMean:           118 * time.Millisecond,
+		RTTSigma:          0.45,
+		RTTMin:            15 * time.Millisecond,
+		JitterFrac:        0.20,
+		WirelessProb:      0.45,
+		WirelessJitterRTT: 1.1,
+		ReorderProb:       0.01,
+		ReorderExtraRTT:   1.5,
+		SpikeEvery:        1500 * time.Millisecond,
+		SpikeExtraRTT:     1.2,
+		SpikeDur:          200 * time.Millisecond,
+		BurstEvery:        9 * time.Second,
+		BurstDur:          300 * time.Millisecond,
+		BurstLossP:        0.7,
+		LossGB:            0.0065,
+		LossBG:            0.40,
+		LossBad:           0.55,
+		AckLossProb:       0.01,
+		BandwidthMean:     700_000,
+		BandwidthSigma:    0.8,
+		QueueLimit:        70,
+
+		InitRwndMSS: []WeightedInt{
+			{45, 0.12}, {182, 0.30}, {648, 0.33}, {1297, 0.25},
+		},
+		BufAutoTune: true,
+		DelAck: []WeightedDur{
+			{40 * time.Millisecond, 0.85}, {200 * time.Millisecond, 0.15},
+		},
+		SlowReaderProb: 0.15,
+		SlowReadFrac:   0.35,
+		ReadPauseEvery: 1500 * time.Millisecond,
+		ReadPauseMean:  1200 * time.Millisecond,
+		MSS:            1460,
+	}
+}
+
+// CloudStorageShort narrows the cloud-storage model to its
+// short-flow population (control flows and small-file retrievals
+// under 200KB) — the subset Table 8 evaluates latency on. Sampling it
+// directly gives the A/B comparison statistical weight that filtering
+// the full mix cannot.
+func CloudStorageShort() Service {
+	svc := CloudStorage()
+	svc.Name = "cloud-storage"
+	svc.RequestsMin, svc.RequestsMax = 1, 1
+	svc.RespSizeMean = 28_000
+	svc.RespSizeSigma = 0.9
+	svc.RespSizeMin = 2_000
+	svc.RespSizeMax = ShortFlowLimit - 10_000
+	// Control flows cross the same ~4%-loss paths the paper measured
+	// (Table 1); without long-flow self-congestion, the random
+	// component must carry that rate itself.
+	svc.LossGB = 0.022
+	svc.BurstEvery = 5 * time.Second
+	return svc
+}
+
+// SoftwareDownload returns the software-download model: single-file
+// 129KB-average transfers, old client software with tiny initial
+// windows, slow disk-bound readers and long delayed-ACK timers.
+func SoftwareDownload() Service {
+	return Service{
+		Name:          "software-download",
+		DefaultFlows:  450,
+		RequestsMin:   1,
+		RequestsMax:   1,
+		RespSizeMean:  129_000,
+		RespSizeSigma: 1.0,
+		RespSizeMin:   4_000,
+		RespSizeMax:   4_000_000,
+		HeadDelayProb: 0.30,
+		HeadDelayMean: 350 * time.Millisecond,
+		PauseProb:     0.45,
+		PauseMean:     800 * time.Millisecond,
+
+		RTTMean:           120 * time.Millisecond,
+		RTTSigma:          0.45,
+		RTTMin:            15 * time.Millisecond,
+		JitterFrac:        0.20,
+		WirelessProb:      0.45,
+		WirelessJitterRTT: 1.1,
+		ReorderProb:       0.01,
+		ReorderExtraRTT:   1.5,
+		SpikeEvery:        1600 * time.Millisecond,
+		SpikeExtraRTT:     1.2,
+		SpikeDur:          200 * time.Millisecond,
+		BurstEvery:        4 * time.Second,
+		BurstDur:          350 * time.Millisecond,
+		BurstLossP:        0.6,
+		LossGB:            0.005,
+		LossBG:            0.40,
+		LossBad:           0.55,
+		AckLossProb:       0.02,
+		BandwidthMean:     550_000,
+		BandwidthSigma:    0.8,
+		QueueLimit:        60,
+
+		// Figure 6: 18% below 10 MSS, some at 2 MSS (4096 bytes).
+		InitRwndMSS: []WeightedInt{
+			{2, 0.04}, {5, 0.05}, {11, 0.09},
+			{45, 0.27}, {182, 0.35}, {648, 0.20},
+		},
+		BufAutoTune: false,
+		DelAck: []WeightedDur{
+			{40 * time.Millisecond, 0.67},
+			{200 * time.Millisecond, 0.30},
+			{500 * time.Millisecond, 0.03},
+		},
+		SlowReaderProb: 0.40,
+		SlowReadFrac:   0.35,
+		ReadPauseEvery: 800 * time.Millisecond,
+		ReadPauseMean:  600 * time.Millisecond,
+		MSS:            1460,
+	}
+}
+
+// WebSearch returns the web-search model: interactive short flows
+// (14KB average, some single-packet), dynamic content fetched from
+// back-end servers, modern browsers.
+func WebSearch() Service {
+	return Service{
+		Name:          "web-search",
+		DefaultFlows:  1650,
+		RequestsMin:   1,
+		RequestsMax:   1,
+		RespSizeMean:  14_000,
+		RespSizeSigma: 1.2,
+		RespSizeMin:   400,
+		RespSizeMax:   250_000,
+		HeadDelayProb: 0.85,
+		HeadDelayMean: 120 * time.Millisecond,
+
+		RTTMean:           95 * time.Millisecond,
+		RTTSigma:          0.45,
+		RTTMin:            10 * time.Millisecond,
+		JitterFrac:        0.20,
+		WirelessProb:      0.45,
+		WirelessJitterRTT: 1.1,
+		ReorderProb:       0.01,
+		ReorderExtraRTT:   1.5,
+		SpikeEvery:        3500 * time.Millisecond,
+		SpikeExtraRTT:     1.2,
+		SpikeDur:          150 * time.Millisecond,
+		BurstEvery:        2200 * time.Millisecond,
+		BurstDur:          500 * time.Millisecond,
+		BurstLossP:        0.17,
+		LossGB:            0.0005,
+		LossBG:            0.15,
+		LossBad:           0.55,
+		AckLossProb:       0.01,
+		BandwidthMean:     900_000,
+		BandwidthSigma:    0.7,
+		QueueLimit:        50,
+
+		InitRwndMSS: []WeightedInt{
+			{45, 0.12}, {182, 0.33}, {364, 0.30}, {1297, 0.25},
+		},
+		BufAutoTune: true,
+		DelAck: []WeightedDur{
+			{40 * time.Millisecond, 0.60}, {200 * time.Millisecond, 0.40},
+		},
+		MSS: 1460,
+	}
+}
+
+// Services returns the three paper services in presentation order.
+func Services() []Service {
+	return []Service{CloudStorage(), SoftwareDownload(), WebSearch()}
+}
+
+// FlowResult couples a generated flow's trace with its simulator
+// ground truth.
+type FlowResult struct {
+	Flow    *trace.Flow
+	Metrics *tcpsim.ConnMetrics
+}
+
+// ShortFlowLimit is the paper's short/large flow boundary (200KB).
+const ShortFlowLimit = 200_000
+
+// GenOptions tune a generation run.
+type GenOptions struct {
+	// Flows overrides Service.DefaultFlows when positive.
+	Flows int
+	// NewRecovery, when set, installs a fresh loss-recovery strategy
+	// on every connection (native behaviour otherwise).
+	NewRecovery func() tcpsim.Recovery
+	// Collect disables trace collection when false-like needed; by
+	// default traces are collected.
+	SkipTraces bool
+	// Deadline caps each connection's virtual runtime (default
+	// 300s).
+	Deadline time.Duration
+	// Mutate, when set, adjusts each connection's configuration
+	// after the service model has filled it (ablation hooks).
+	Mutate func(*tcpsim.ConnConfig)
+}
+
+// Generate runs n independent connections of the service and returns
+// their flows and metrics. The same seed reproduces the same dataset
+// bit-for-bit, and — because every flow derives its randomness from
+// its own sub-seed — two runs with different recovery strategies see
+// identical workloads and paths (the paper's A/B setup).
+func Generate(svc Service, seed int64, opt GenOptions) []FlowResult {
+	n := opt.Flows
+	if n <= 0 {
+		n = svc.DefaultFlows
+	}
+	results := make([]FlowResult, 0, n)
+	root := sim.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		flowSeed := root.Int63()
+		results = append(results, genOne(svc, flowSeed, i, opt))
+	}
+	return results
+}
+
+// genOne simulates one connection on its own simulator instance.
+func genOne(svc Service, seed int64, idx int, opt GenOptions) FlowResult {
+	s := sim.New()
+	rng := sim.NewRNG(seed)
+
+	// Path parameters.
+	rtt := time.Duration(rng.LogNormalMean(float64(svc.RTTMean), svc.RTTSigma))
+	if rtt < svc.RTTMin {
+		rtt = svc.RTTMin
+	}
+	oneWay := rtt / 2
+	jitter := time.Duration(svc.JitterFrac * float64(oneWay))
+	bw := int64(rng.LogNormalMean(svc.BandwidthMean, svc.BandwidthSigma))
+	if bw < 64_000 {
+		bw = 64_000
+	}
+	downLoss := &netem.GilbertElliott{
+		PGoodToBad: svc.LossGB * rng.Uniform(0.5, 1.5),
+		PBadToGood: svc.LossBG,
+		LossBad:    svc.LossBad,
+	}
+	var jitterExp time.Duration
+	if svc.WirelessProb > 0 && rng.Bool(svc.WirelessProb) {
+		// Scale the base delay down so the measured RTT (base +
+		// mean exponential jitter) stays calibrated to Table 1.
+		oneWay = time.Duration(float64(oneWay) / (1 + svc.WirelessJitterRTT))
+		jitterExp = time.Duration(svc.WirelessJitterRTT * float64(oneWay))
+	}
+	down := netem.New(s, rng, netem.Config{
+		Delay:        oneWay,
+		Jitter:       jitter,
+		JitterExp:    jitterExp,
+		Loss:         downLoss,
+		Bandwidth:    bw,
+		QueueLimit:   svc.QueueLimit,
+		ReorderProb:  svc.ReorderProb,
+		ReorderExtra: time.Duration(svc.ReorderExtraRTT * float64(oneWay)),
+		BurstEvery:   svc.BurstEvery,
+		BurstDur:     svc.BurstDur,
+		BurstLossP:   svc.BurstLossP,
+		FIFOEnforce:  true,
+	})
+	up := netem.New(s, rng, netem.Config{
+		Delay:        oneWay,
+		Jitter:       jitter / 2,
+		JitterExp:    jitterExp,
+		Loss:         netem.Bernoulli{P: svc.AckLossProb},
+		ReorderProb:  svc.ReorderProb,
+		ReorderExtra: time.Duration(svc.ReorderExtraRTT * float64(oneWay)),
+		SpikeEvery:   svc.SpikeEvery,
+		SpikeExtra:   time.Duration(svc.SpikeExtraRTT * float64(rtt)),
+		SpikeDur:     svc.SpikeDur,
+		FIFOEnforce:  true,
+	})
+
+	// Client parameters.
+	initRwnd := pickInt(rng, svc.InitRwndMSS) * svc.MSS
+	rcv := tcpsim.ReceiverConfig{
+		MSS:          svc.MSS,
+		InitRwnd:     initRwnd,
+		DelAckDelay:  pickDur(rng, svc.DelAck),
+		AckEvery:     2,
+		SACK:         true,
+		ReadInterval: 10 * time.Millisecond,
+	}
+	if svc.BufAutoTune {
+		buf := initRwnd * 4
+		if buf > 262_144 {
+			buf = 262_144
+		}
+		if buf < initRwnd {
+			buf = initRwnd
+		}
+		rcv.BufSize = buf
+	} else {
+		rcv.BufSize = initRwnd
+	}
+	if svc.SlowReaderProb > 0 && rng.Bool(svc.SlowReaderProb) {
+		rcv.ReadRate = int64(svc.SlowReadFrac * float64(bw))
+		if rcv.ReadRate < 20_000 {
+			rcv.ReadRate = 20_000
+		}
+		// Periodic read stalls (disk flushes) over the first minute:
+		// the source of zero-window episodes.
+		if svc.ReadPauseEvery > 0 {
+			at := time.Duration(rng.Exponential(float64(svc.ReadPauseEvery)))
+			for at < time.Minute {
+				rcv.ReadPauses = append(rcv.ReadPauses, tcpsim.ReadPause{
+					At:  at,
+					Dur: time.Duration(rng.Exponential(float64(svc.ReadPauseMean))),
+				})
+				at += time.Duration(rng.Exponential(float64(svc.ReadPauseEvery)))
+			}
+		}
+	}
+
+	// Application exchange.
+	nReq := svc.RequestsMin
+	if svc.RequestsMax > svc.RequestsMin {
+		nReq += rng.Intn(svc.RequestsMax - svc.RequestsMin + 1)
+	}
+	reqs := make([]tcpsim.Request, 0, nReq)
+	for r := 0; r < nReq; r++ {
+		size := int64(rng.LogNormalMean(svc.RespSizeMean, svc.RespSizeSigma))
+		if size < svc.RespSizeMin {
+			size = svc.RespSizeMin
+		}
+		if size > svc.RespSizeMax {
+			size = svc.RespSizeMax
+		}
+		req := tcpsim.Request{Size: size}
+		if r > 0 && svc.IdleMean > 0 {
+			if rng.Bool(svc.IdleLongProb) {
+				req.IdleBefore = time.Duration(rng.Exponential(float64(svc.IdleMean)))
+			} else {
+				req.IdleBefore = time.Duration(rng.Uniform(0, 250)) * time.Millisecond
+			}
+		}
+		if rng.Bool(svc.HeadDelayProb) {
+			req.HeadDelay = time.Duration(rng.Exponential(float64(svc.HeadDelayMean)))
+		}
+		if svc.PauseProb > 0 && rng.Bool(svc.PauseProb) {
+			at := int64(rng.Uniform(0.2, 0.8) * float64(size))
+			req.Pauses = []tcpsim.AppPause{{
+				AfterBytes: at,
+				Duration:   time.Duration(rng.Exponential(float64(svc.PauseMean))),
+			}}
+		}
+		reqs = append(reqs, req)
+	}
+
+	cfg := tcpsim.ConnConfig{
+		Sender:   tcpsim.DefaultSenderConfig(),
+		Receiver: rcv,
+		Requests: reqs,
+	}
+	cfg.Sender.MSS = svc.MSS
+	if opt.Deadline > 0 {
+		cfg.Deadline = opt.Deadline
+	}
+	if opt.Mutate != nil {
+		opt.Mutate(&cfg)
+	}
+
+	var sink tcpsim.TraceSink
+	var col *trace.Collector
+	if !opt.SkipTraces {
+		col = trace.NewCollector(fmt.Sprintf("%s-%05d", svc.Name, idx), svc.Name)
+		col.Flow.MSS = svc.MSS
+		sink = col
+	}
+	conn := tcpsim.NewLinkedConn(s, cfg, down, up, sink)
+	if opt.NewRecovery != nil {
+		conn.Sender().SetRecovery(opt.NewRecovery())
+	}
+	done := false
+	conn.OnDone = func(*tcpsim.ConnMetrics) { done = true }
+	conn.Start()
+	// Spike processes self-perpetuate, so step the clock in slices
+	// until the connection finishes (or hits its own deadline).
+	deadline := cfg.Deadline
+	if deadline <= 0 {
+		deadline = 300 * time.Second
+	}
+	for !done && s.Now() <= sim.Time(deadline) {
+		s.RunFor(time.Second)
+	}
+
+	res := FlowResult{Metrics: conn.Metrics()}
+	if col != nil {
+		col.Flow.Done = conn.Metrics().Done
+		col.Flow.Latency = conn.Metrics().FlowLatency()
+		res.Flow = col.Flow
+	}
+	return res
+}
