@@ -25,6 +25,7 @@ func main() {
 	scale := flag.Float64("scale", 0.5, "dataset size multiplier")
 	flows := flag.Int("flows", 0, "fixed per-service flow count (overrides -scale)")
 	abFlows := flag.Int("abflows", 400, "flows per strategy for Tables 8/9")
+	workers := flag.Int("workers", 0, "simulation/analysis worker count (0: one per CPU)")
 	only := flag.String("only", "", "comma-separated experiment subset (e.g. table1,figure3)")
 	flag.Parse()
 
@@ -47,8 +48,8 @@ func main() {
 
 	var ds []*experiments.Dataset
 	if needDataset {
-		fmt.Fprintf(os.Stderr, "generating dataset (seed=%d scale=%.2f flows=%d)...\n", *seed, *scale, *flows)
-		ds = experiments.BuildAll(experiments.Options{Seed: *seed, Scale: *scale, FlowsOverride: *flows})
+		fmt.Fprintf(os.Stderr, "generating dataset (seed=%d scale=%.2f flows=%d workers=%d)...\n", *seed, *scale, *flows, *workers)
+		ds = experiments.BuildAll(experiments.Options{Seed: *seed, Scale: *scale, FlowsOverride: *flows, Workers: *workers})
 	}
 
 	if needDataset && sel("table1") {

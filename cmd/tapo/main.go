@@ -4,20 +4,24 @@
 // min(2·SRTT, RTO) — and classifies each stall's root cause with the
 // Figure-5 decision tree plus the Table-5 retransmission breakdown.
 //
+// Flows are analyzed on a parallel worker pool (one worker per CPU by
+// default); results are merged deterministically by flow key, so the
+// output is identical for every -workers value.
+//
 // Usage:
 //
-//	tapo [-port N] [-v] capture.pcap
+//	tapo [-port N] [-workers N] [-v] capture.pcap
 //	tapo -demo              # run on a freshly synthesized trace
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"tcpstall/internal/core"
+	"tcpstall/internal/pipeline"
 	"tcpstall/internal/stats"
 	"tcpstall/internal/trace"
 	"tcpstall/internal/workload"
@@ -25,44 +29,48 @@ import (
 
 func main() {
 	port := flag.Uint("port", 80, "server TCP port (identifies direction)")
+	workers := flag.Int("workers", 0, "analysis worker count (0: one per CPU)")
 	verbose := flag.Bool("v", false, "print every stall of every flow")
 	jsonOut := flag.Bool("json", false, "emit the full analysis as JSON on stdout")
 	demo := flag.Bool("demo", false, "analyze a synthetic web-search trace instead of a file")
 	tau := flag.Float64("tau", 2, "stall threshold multiplier in min(tau*SRTT, RTO)")
 	flag.Parse()
 
-	var flows []*trace.Flow
+	cfg := core.DefaultConfig()
+	cfg.Tau = *tau
+	opt := pipeline.Options{Workers: *workers, Config: cfg}
+
+	var res *pipeline.Result
+	var err error
 	switch {
 	case *demo:
 		fmt.Fprintln(os.Stderr, "synthesizing 80 web-search flows...")
-		for _, r := range workload.Generate(workload.WebSearch(), 42, workload.GenOptions{Flows: 80}) {
-			if r.Flow != nil {
-				flows = append(flows, r.Flow)
-			}
-		}
+		gen := workload.Generate(workload.WebSearch(), 42,
+			workload.GenOptions{Flows: 80, Workers: *workers})
+		res, err = pipeline.Run(pipeline.FromResults(gen), opt)
 	case flag.NArg() == 1:
-		f, err := os.Open(flag.Arg(0))
-		if err != nil {
-			fatal(err)
+		f, oerr := os.Open(flag.Arg(0))
+		if oerr != nil {
+			fatal(oerr)
 		}
 		defer f.Close()
-		var ierr error
-		flows, ierr = trace.ImportPcap(f, trace.ImportConfig{ServerPort: uint16(*port)})
-		if ierr != nil {
-			fatal(ierr)
-		}
+		// Streaming import: flows are analyzed while the capture is
+		// still being read.
+		res, err = pipeline.Run(
+			pipeline.FromPcap(f, trace.ImportConfig{ServerPort: uint16(*port)}), opt)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: tapo [-port N] [-v] capture.pcap | tapo -demo")
+		fmt.Fprintln(os.Stderr, "usage: tapo [-port N] [-workers N] [-v] capture.pcap | tapo -demo")
 		os.Exit(2)
 	}
+	if err != nil {
+		fatal(err)
+	}
 
-	cfg := core.DefaultConfig()
-	cfg.Tau = *tau
-	var analyses []*core.FlowAnalysis
-	for _, fl := range flows {
-		a := core.Analyze(fl, cfg)
-		analyses = append(analyses, a)
-		if *verbose && !*jsonOut && len(a.Stalls) > 0 {
+	if *verbose && !*jsonOut {
+		for _, a := range res.Analyses {
+			if len(a.Stalls) == 0 {
+				continue
+			}
 			fmt.Printf("flow %s: %d stalls, %.1f%% of lifetime stalled\n",
 				a.FlowID, len(a.Stalls), 100*a.StalledFraction())
 			for _, st := range a.Stalls {
@@ -81,85 +89,19 @@ func main() {
 	}
 
 	if *jsonOut {
-		if err := emitJSON(os.Stdout, analyses); err != nil {
-			fatal(err)
+		buf, merr := core.MarshalAnalyses(res.Analyses)
+		if merr != nil {
+			fatal(merr)
+		}
+		if _, werr := os.Stdout.Write(buf); werr != nil {
+			fatal(werr)
 		}
 		return
 	}
-	report(analyses)
+	report(res.Report)
 }
 
-// jsonStall is the machine-readable stall record.
-type jsonStall struct {
-	StartMS    float64 `json:"start_ms"`
-	DurationMS float64 `json:"duration_ms"`
-	Cause      string  `json:"cause"`
-	Retrans    string  `json:"retrans_cause,omitempty"`
-	DoubleKind string  `json:"double_kind,omitempty"`
-	CaState    string  `json:"ca_state"`
-	InFlight   int     `json:"in_flight"`
-	Rwnd       int     `json:"rwnd"`
-}
-
-// jsonFlow is the machine-readable per-flow analysis.
-type jsonFlow struct {
-	ID            string      `json:"id"`
-	Service       string      `json:"service,omitempty"`
-	DataBytes     int64       `json:"data_bytes"`
-	DataPackets   int         `json:"data_packets"`
-	Retrans       int         `json:"retransmissions"`
-	AvgRTTms      float64     `json:"avg_rtt_ms"`
-	AvgRTOms      float64     `json:"avg_rto_ms,omitempty"`
-	InitRwnd      int         `json:"init_rwnd"`
-	ZeroRwnd      bool        `json:"zero_rwnd_seen"`
-	TransmissionS float64     `json:"transmission_s"`
-	StalledS      float64     `json:"stalled_s"`
-	Stalls        []jsonStall `json:"stalls"`
-}
-
-func emitJSON(w *os.File, analyses []*core.FlowAnalysis) error {
-	out := make([]jsonFlow, 0, len(analyses))
-	for _, a := range analyses {
-		jf := jsonFlow{
-			ID:            a.FlowID,
-			Service:       a.Service,
-			DataBytes:     a.DataBytes,
-			DataPackets:   a.DataPackets,
-			Retrans:       a.RetransPackets,
-			AvgRTTms:      a.AvgRTT(),
-			AvgRTOms:      a.AvgRTO(),
-			InitRwnd:      a.InitRwnd,
-			ZeroRwnd:      a.ZeroRwndSeen,
-			TransmissionS: a.TransmissionTime.Seconds(),
-			StalledS:      a.TotalStallTime.Seconds(),
-			Stalls:        []jsonStall{},
-		}
-		for _, st := range a.Stalls {
-			js := jsonStall{
-				StartMS:    st.Start.Milliseconds(),
-				DurationMS: float64(st.Duration) / float64(time.Millisecond),
-				Cause:      st.Cause.String(),
-				CaState:    st.CaState.String(),
-				InFlight:   st.InFlight,
-				Rwnd:       st.Rwnd,
-			}
-			if st.Cause == core.CauseTimeoutRetrans {
-				js.Retrans = st.RetransCause.String()
-				if st.RetransCause == core.RetransDouble {
-					js.DoubleKind = st.DoubleKind.String()
-				}
-			}
-			jf.Stalls = append(jf.Stalls, js)
-		}
-		out = append(out, jf)
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(out)
-}
-
-func report(analyses []*core.FlowAnalysis) {
-	r := core.NewReport(analyses)
+func report(r *core.Report) {
 	fmt.Printf("\n%d flows, %d stalled (%.1f%%), %d stalls, %.1fs total stall time\n",
 		r.Flows, r.FlowsStalled, 100*float64(r.FlowsStalled)/float64(max(r.Flows, 1)),
 		r.TotalStalls, r.TotalStallTime.Seconds())

@@ -1,6 +1,10 @@
 package core
 
 import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -614,5 +618,80 @@ func TestTailRetransInRecoveryState(t *testing.T) {
 	}
 	if tails[0].CaState != tcpsim.StateRecovery {
 		t.Errorf("ca state at stall = %v, want Recovery", tails[0].CaState)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Golden traces: three committed pcaps, one per Figure-5 stall family,
+// whose full JSON analyses are pinned under testdata/. Regenerate with
+//
+//	go run internal/core/testdata/gen_golden.go
+//
+// and refresh only the JSON (after an intentional classifier change)
+// with
+//
+//	go test ./internal/core -run TestGoldenTraces -update
+// ---------------------------------------------------------------------------
+
+var updateGolden = flag.Bool("update", false, "rewrite golden JSON from the committed pcaps")
+
+func TestGoldenTraces(t *testing.T) {
+	cases := []struct {
+		name string
+		want Cause
+	}{
+		{"golden_server", CauseDataUnavailable},
+		{"golden_client", CauseZeroWindow},
+		{"golden_network", CauseTimeoutRetrans},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			f, err := os.Open(filepath.Join("testdata", tc.name+".pcap"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			flows, err := trace.ImportPcap(f, trace.ImportConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(flows) == 0 {
+				t.Fatal("golden pcap contains no flows")
+			}
+			var analyses []*FlowAnalysis
+			hits := 0
+			for _, fl := range flows {
+				a := Analyze(fl, DefaultConfig())
+				for _, s := range a.Stalls {
+					if s.Cause == tc.want {
+						hits++
+					}
+				}
+				analyses = append(analyses, a)
+			}
+			if hits == 0 {
+				t.Errorf("no %v stall in %s — fixture no longer covers its family", tc.want, tc.name)
+			}
+			got, err := MarshalAnalyses(analyses)
+			if err != nil {
+				t.Fatal(err)
+			}
+			goldenPath := filepath.Join("testdata", tc.name+".json")
+			if *updateGolden {
+				if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("analysis of %s.pcap diverges from %s (got %d bytes, want %d); run with -update after intentional classifier changes",
+					tc.name, goldenPath, len(got), len(want))
+			}
+		})
 	}
 }

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"time"
+)
+
+// JSONStall is the machine-readable stall record.
+type JSONStall struct {
+	StartMS    float64 `json:"start_ms"`
+	DurationMS float64 `json:"duration_ms"`
+	Cause      string  `json:"cause"`
+	Retrans    string  `json:"retrans_cause,omitempty"`
+	DoubleKind string  `json:"double_kind,omitempty"`
+	CaState    string  `json:"ca_state"`
+	InFlight   int     `json:"in_flight"`
+	Rwnd       int     `json:"rwnd"`
+}
+
+// JSONFlow is the machine-readable per-flow analysis.
+type JSONFlow struct {
+	ID            string      `json:"id"`
+	Service       string      `json:"service,omitempty"`
+	DataBytes     int64       `json:"data_bytes"`
+	DataPackets   int         `json:"data_packets"`
+	Retrans       int         `json:"retransmissions"`
+	AvgRTTms      float64     `json:"avg_rtt_ms"`
+	AvgRTOms      float64     `json:"avg_rto_ms,omitempty"`
+	InitRwnd      int         `json:"init_rwnd"`
+	ZeroRwnd      bool        `json:"zero_rwnd_seen"`
+	TransmissionS float64     `json:"transmission_s"`
+	StalledS      float64     `json:"stalled_s"`
+	Stalls        []JSONStall `json:"stalls"`
+}
+
+// ToJSON converts one analysis to its machine-readable form.
+func (a *FlowAnalysis) ToJSON() JSONFlow {
+	jf := JSONFlow{
+		ID:            a.FlowID,
+		Service:       a.Service,
+		DataBytes:     a.DataBytes,
+		DataPackets:   a.DataPackets,
+		Retrans:       a.RetransPackets,
+		AvgRTTms:      a.AvgRTT(),
+		AvgRTOms:      a.AvgRTO(),
+		InitRwnd:      a.InitRwnd,
+		ZeroRwnd:      a.ZeroRwndSeen,
+		TransmissionS: a.TransmissionTime.Seconds(),
+		StalledS:      a.TotalStallTime.Seconds(),
+		Stalls:        []JSONStall{},
+	}
+	for _, st := range a.Stalls {
+		js := JSONStall{
+			StartMS:    st.Start.Milliseconds(),
+			DurationMS: float64(st.Duration) / float64(time.Millisecond),
+			Cause:      st.Cause.String(),
+			CaState:    st.CaState.String(),
+			InFlight:   st.InFlight,
+			Rwnd:       st.Rwnd,
+		}
+		if st.Cause == CauseTimeoutRetrans {
+			js.Retrans = st.RetransCause.String()
+			if st.RetransCause == RetransDouble {
+				js.DoubleKind = st.DoubleKind.String()
+			}
+		}
+		jf.Stalls = append(jf.Stalls, js)
+	}
+	return jf
+}
+
+// MarshalAnalyses renders analyses as the canonical indented JSON
+// report. The encoding is deterministic: identical analyses in
+// identical order produce identical bytes, which is the contract the
+// pipeline's sequential-equivalence tests compare on.
+func MarshalAnalyses(analyses []*FlowAnalysis) ([]byte, error) {
+	out := make([]JSONFlow, 0, len(analyses))
+	for _, a := range analyses {
+		out = append(out, a.ToJSON())
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -43,31 +43,66 @@ func NewReport(analyses []*FlowAnalysis) *Report {
 		TailTimeByState:     map[tcpsim.CongState]time.Duration{},
 	}
 	for _, a := range analyses {
-		r.Flows++
-		if len(a.Stalls) > 0 {
-			r.FlowsStalled++
-		}
-		if a.ZeroRwndSeen {
-			r.FlowsZeroRwnd++
-		}
-		for _, st := range a.Stalls {
-			r.TotalStalls++
-			r.TotalStallTime += st.Duration
-			r.CountByCause[st.Cause]++
-			r.TimeByCause[st.Cause] += st.Duration
-			if st.Cause == CauseTimeoutRetrans {
-				r.RetransCountByCause[st.RetransCause]++
-				r.RetransTimeByCause[st.RetransCause] += st.Duration
-				switch st.RetransCause {
-				case RetransDouble:
-					r.DoubleTimeByKind[st.DoubleKind] += st.Duration
-				case RetransTail:
-					r.TailTimeByState[st.TailState] += st.Duration
-				}
+		r.Add(a)
+	}
+	return r
+}
+
+// Add folds one flow's analysis into the report.
+func (r *Report) Add(a *FlowAnalysis) {
+	r.Flows++
+	if len(a.Stalls) > 0 {
+		r.FlowsStalled++
+	}
+	if a.ZeroRwndSeen {
+		r.FlowsZeroRwnd++
+	}
+	for _, st := range a.Stalls {
+		r.TotalStalls++
+		r.TotalStallTime += st.Duration
+		r.CountByCause[st.Cause]++
+		r.TimeByCause[st.Cause] += st.Duration
+		if st.Cause == CauseTimeoutRetrans {
+			r.RetransCountByCause[st.RetransCause]++
+			r.RetransTimeByCause[st.RetransCause] += st.Duration
+			switch st.RetransCause {
+			case RetransDouble:
+				r.DoubleTimeByKind[st.DoubleKind] += st.Duration
+			case RetransTail:
+				r.TailTimeByState[st.TailState] += st.Duration
 			}
 		}
 	}
-	return r
+}
+
+// Merge folds another report into r. Every field is a count or a
+// duration sum, so merging is associative and commutative: per-worker
+// reports built over any sharding of the flows combine into exactly
+// the report NewReport would build over all of them.
+func (r *Report) Merge(o *Report) {
+	r.Flows += o.Flows
+	r.FlowsStalled += o.FlowsStalled
+	r.FlowsZeroRwnd += o.FlowsZeroRwnd
+	r.TotalStalls += o.TotalStalls
+	r.TotalStallTime += o.TotalStallTime
+	for c, n := range o.CountByCause {
+		r.CountByCause[c] += n
+	}
+	for c, d := range o.TimeByCause {
+		r.TimeByCause[c] += d
+	}
+	for c, n := range o.RetransCountByCause {
+		r.RetransCountByCause[c] += n
+	}
+	for c, d := range o.RetransTimeByCause {
+		r.RetransTimeByCause[c] += d
+	}
+	for k, d := range o.DoubleTimeByKind {
+		r.DoubleTimeByKind[k] += d
+	}
+	for s, d := range o.TailTimeByState {
+		r.TailTimeByState[s] += d
+	}
 }
 
 // CausePctCount reports the volume share of a cause (0..1).

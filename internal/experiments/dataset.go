@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"tcpstall/internal/core"
+	"tcpstall/internal/pipeline"
 	"tcpstall/internal/trace"
 	"tcpstall/internal/workload"
 )
@@ -21,6 +22,9 @@ type Options struct {
 	Scale float64
 	// FlowsOverride fixes the per-service flow count when > 0.
 	FlowsOverride int
+	// Workers bounds the simulation and analysis pools (<= 0:
+	// one per CPU). The dataset is identical for every worker count.
+	Workers int
 }
 
 func (o *Options) defaults() {
@@ -40,17 +44,26 @@ type Dataset struct {
 	Report   *core.Report
 }
 
-// BuildDataset generates and analyzes one service.
+// BuildDataset generates and analyzes one service on the parallel
+// pipeline, using one worker per CPU.
 func BuildDataset(svc workload.Service, seed int64, flows int) *Dataset {
-	res := workload.Generate(svc, seed, workload.GenOptions{Flows: flows})
+	return buildDataset(svc, seed, flows, 0)
+}
+
+func buildDataset(svc workload.Service, seed int64, flows, workers int) *Dataset {
+	res := workload.Generate(svc, seed, workload.GenOptions{Flows: flows, Workers: workers})
 	ds := &Dataset{Service: svc, Results: res}
-	for _, r := range res {
-		if r.Flow == nil {
-			continue
-		}
-		ds.Analyses = append(ds.Analyses, core.Analyze(r.Flow, core.DefaultConfig()))
+	pr, err := pipeline.Run(pipeline.FromResults(res), pipeline.Options{
+		Workers: workers,
+		Config:  core.DefaultConfig(),
+	})
+	if err != nil {
+		// FromResults cannot fail; a non-nil error would be a pipeline
+		// bug, and an empty dataset is the loudest downstream signal.
+		return ds
 	}
-	ds.Report = core.NewReport(ds.Analyses)
+	ds.Analyses = pr.Analyses
+	ds.Report = pr.Report
 	return ds
 }
 
@@ -66,7 +79,7 @@ func BuildAll(opt Options) []*Dataset {
 				n = 10
 			}
 		}
-		out = append(out, BuildDataset(svc, opt.Seed+int64(i)*7919, n))
+		out = append(out, buildDataset(svc, opt.Seed+int64(i)*7919, n, opt.Workers))
 	}
 	return out
 }

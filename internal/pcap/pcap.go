@@ -39,6 +39,11 @@ var (
 	ErrSnaplen   = errors.New("pcap: record exceeds snap length")
 )
 
+// MaxRecordLen bounds a single record's captured length (64MB, far
+// above any real link MTU). A corrupt or hostile length field would
+// otherwise drive a multi-gigabyte allocation before the read fails.
+const MaxRecordLen = 1 << 26
+
 const (
 	fileHeaderLen   = 24
 	recordHeaderLen = 16
@@ -186,6 +191,9 @@ func (r *Reader) ReadPacket() (Packet, error) {
 	origLen := r.order.Uint32(r.buf[12:16])
 	if r.hdr.Snaplen != 0 && inclLen > r.hdr.Snaplen {
 		return Packet{}, fmt.Errorf("%w: %d > %d", ErrSnaplen, inclLen, r.hdr.Snaplen)
+	}
+	if inclLen > MaxRecordLen {
+		return Packet{}, fmt.Errorf("%w: record length %d", ErrSnaplen, inclLen)
 	}
 	data := make([]byte, inclLen)
 	if _, err := io.ReadFull(r.r, data); err != nil {

@@ -41,6 +41,25 @@ func (s *Summary) Mean() float64 {
 	return s.Sum / float64(s.N)
 }
 
+// Merge folds another summary into s. The operation is associative
+// and commutative, so per-worker summaries built by the parallel
+// pipeline combine into the same totals regardless of how the work
+// was sharded.
+func (s *Summary) Merge(o Summary) {
+	if o.N == 0 {
+		return
+	}
+	if s.N == 0 || o.Min < s.Min {
+		s.Min = o.Min
+	}
+	if s.N == 0 || o.Max > s.Max {
+		s.Max = o.Max
+	}
+	s.N += o.N
+	s.Sum += o.Sum
+	s.sumSq += o.sumSq
+}
+
 // StdDev reports the population standard deviation (0 when empty).
 func (s *Summary) StdDev() float64 {
 	if s.N == 0 {
@@ -75,6 +94,24 @@ func (s *Sample) Add(v float64) {
 // AddAll appends many observations.
 func (s *Sample) AddAll(vs []float64) {
 	s.data = append(s.data, vs...)
+	s.sorted = false
+}
+
+// Merge appends another sample's observations into s. Order-derived
+// quantities (quantiles, CDF, Values) are identical however the
+// observations were sharded across merges, since the sample sorts
+// before evaluating them.
+func (s *Sample) Merge(o *Sample) {
+	if o == nil || len(o.data) == 0 {
+		return
+	}
+	s.data = append(s.data, o.data...)
+	s.sorted = false
+}
+
+// Reset empties the sample, retaining its storage.
+func (s *Sample) Reset() {
+	s.data = s.data[:0]
 	s.sorted = false
 }
 

@@ -165,28 +165,244 @@ type ImportConfig struct {
 	ServerPort uint16
 }
 
-// ImportPcap reads a capture and reassembles per-connection flows
-// from the server's vantage point. Ethernet and raw-IP link types are
-// supported; IPv4 and IPv6 frames both decode. Non-TCP frames are
-// skipped.
-func ImportPcap(r io.Reader, cfg ImportConfig) ([]*Flow, error) {
+// FlowHandler consumes one completed flow. Returning an error aborts
+// the import and propagates the error to the caller.
+type FlowHandler func(*Flow) error
+
+// flowKey identifies a connection by the client endpoint.
+type flowKey struct {
+	ip   [16]byte // IPv4 addresses mapped into the low 4 bytes
+	port uint16
+}
+
+// flowState is a demux entry: the flow under assembly plus the
+// teardown tracking that lets the streaming importer emit it early.
+type flowState struct {
+	flow   *Flow
+	finOut bool
+	finIn  bool
+}
+
+// demux reassembles per-connection flows from decoded frames. With
+// emitEarly set it completes flows as soon as the capture shows the
+// connection is over (RST, or both FINs followed by a pure ACK);
+// otherwise every flow is held until flush.
+type demux struct {
+	cfg       ImportConfig
+	emitEarly bool
+
+	flows    map[flowKey]*flowState
+	order    []flowKey
+	gens     map[flowKey]int // completed generations per key
+	base     time.Time
+	haveBase bool
+}
+
+func newDemux(cfg ImportConfig, emitEarly bool) *demux {
 	if cfg.ServerPort == 0 {
 		cfg.ServerPort = 80
 	}
+	return &demux{
+		cfg:       cfg,
+		emitEarly: emitEarly,
+		flows:     map[flowKey]*flowState{},
+		gens:      map[flowKey]int{},
+	}
+}
+
+// flowID renders the demux key as a flow identifier, suffixed with
+// the generation ordinal when the same endpoint reappears after its
+// connection completed.
+func (d *demux) flowID(k flowKey, ipv6 bool) string {
+	var id string
+	if ipv6 {
+		id = fmt.Sprintf("[%x]:%d", k.ip, k.port)
+	} else {
+		id = fmt.Sprintf("%d.%d.%d.%d:%d", k.ip[0], k.ip[1], k.ip[2], k.ip[3], k.port)
+	}
+	if g := d.gens[k]; g > 0 {
+		id = fmt.Sprintf("%s#%d", id, g+1)
+	}
+	return id
+}
+
+// add folds one captured record in and returns a flow that just
+// completed, if any.
+func (d *demux) add(pkt pcap.Packet, raw bool) *Flow {
+	fr, ok := decodeFrame(pkt.Data, raw)
+	if !ok {
+		return nil
+	}
+	var srcIP, dstIP [16]byte
+	if fr.IsIPv6 {
+		srcIP, dstIP = fr.IP6.Src, fr.IP6.Dst
+	} else {
+		copy(srcIP[:4], fr.IP4.Src[:])
+		copy(dstIP[:4], fr.IP4.Dst[:])
+	}
+	var dir tcpsim.Dir
+	var k flowKey
+	switch {
+	case fr.TCP.SrcPort == d.cfg.ServerPort:
+		dir = tcpsim.DirOut
+		k = flowKey{dstIP, fr.TCP.DstPort}
+	case fr.TCP.DstPort == d.cfg.ServerPort:
+		dir = tcpsim.DirIn
+		k = flowKey{srcIP, fr.TCP.SrcPort}
+	default:
+		return nil
+	}
+	if !d.haveBase {
+		d.base = pkt.Timestamp
+		d.haveBase = true
+	}
+	st, ok := d.flows[k]
+	if !ok {
+		st = &flowState{
+			flow: &Flow{
+				ID:      d.flowID(k, fr.IsIPv6),
+				Service: "pcap",
+				Done:    true,
+				MSS:     1460,
+			},
+		}
+		d.flows[k] = st
+		d.order = append(d.order, k)
+	}
+	f := st.flow
+	// Payload length from the IP length fields (snaplen-proof).
+	var segLen int
+	if fr.IsIPv6 {
+		segLen = int(fr.IP6.PayloadLen) - fr.TCP.HeaderLen()
+	} else {
+		segLen = int(fr.IP4.TotalLen) - fr.IP4.HeaderLen() - fr.TCP.HeaderLen()
+	}
+	if segLen < 0 {
+		segLen = len(fr.Payload)
+	}
+	seg := tcpsim.Segment{
+		Flags: fr.TCP.Flags,
+		Seq:   fr.TCP.Seq,
+		Ack:   fr.TCP.Ack,
+		Len:   segLen,
+		Wnd:   int(fr.TCP.Window),
+	}
+	if fr.TCP.Options.HasTimestamps {
+		seg.TSVal = ticksToTime(fr.TCP.Options.TSVal)
+		seg.TSEcr = ticksToTime(fr.TCP.Options.TSEcr)
+	}
+	if len(fr.TCP.Options.SACK) > 0 {
+		seg.SACK = append(seg.SACK, fr.TCP.Options.SACK...)
+	}
+	if fr.TCP.Options.HasMSS && fr.TCP.Options.MSS > 0 {
+		f.MSS = int(fr.TCP.Options.MSS)
+	}
+	if dir == tcpsim.DirIn && seg.Flags.Has(packet.FlagSYN) && f.InitRwnd == 0 {
+		f.InitRwnd = seg.Wnd
+	}
+	f.Records = append(f.Records, Record{
+		T:   sim.Time(pkt.Timestamp.Sub(d.base)),
+		Dir: dir,
+		Seg: seg,
+	})
+	if !d.emitEarly {
+		return nil
+	}
+	// Early completion: an RST closes the connection outright; after
+	// FINs in both directions, the next pure ACK (the teardown's final
+	// acknowledgment) closes it. A FIN-only teardown with no trailing
+	// ACK — the simulator's shape — completes at flush instead, so
+	// streamed flows stay identical to the batch importer's.
+	switch {
+	case seg.Flags.Has(packet.FlagRST):
+		return d.complete(k)
+	case seg.Flags.Has(packet.FlagFIN):
+		if dir == tcpsim.DirOut {
+			st.finOut = true
+		} else {
+			st.finIn = true
+		}
+	case st.finOut && st.finIn && seg.Len == 0 && !seg.Flags.Has(packet.FlagSYN):
+		return d.complete(k)
+	}
+	return nil
+}
+
+// complete detaches and returns the flow for k.
+func (d *demux) complete(k flowKey) *Flow {
+	st := d.flows[k]
+	delete(d.flows, k)
+	d.gens[k]++
+	return st.flow
+}
+
+// flush returns the incomplete flows in first-seen order. A key can
+// appear in order once per generation, so delete as we emit to keep
+// each remaining flow to a single emission.
+func (d *demux) flush() []*Flow {
+	flows := make([]*Flow, 0, len(d.flows))
+	for _, k := range d.order {
+		if st, ok := d.flows[k]; ok {
+			flows = append(flows, st.flow)
+			delete(d.flows, k)
+		}
+	}
+	d.flows = map[flowKey]*flowState{}
+	d.order = nil
+	return flows
+}
+
+// ImportPcapStream reads a capture and hands each reassembled flow to
+// h as soon as it completes: on a RST, after a full FIN handshake, or
+// — for flows still open when the capture ends — at EOF in
+// first-seen order. This is the streaming entry point the analysis
+// pipeline demuxes from; it holds only open flows in memory instead
+// of the whole capture.
+//
+// If packets for a client endpoint arrive after its connection
+// completed, they start a new flow whose ID carries a "#n" generation
+// suffix.
+func ImportPcapStream(r io.Reader, cfg ImportConfig, h FlowHandler) error {
+	pr, err := pcap.NewReader(r)
+	if err != nil {
+		return err
+	}
+	raw := pr.Header().LinkType == pcap.LinkTypeRaw
+	d := newDemux(cfg, true)
+	for {
+		pkt, err := pr.ReadPacket()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if f := d.add(pkt, raw); f != nil {
+			if err := h(f); err != nil {
+				return err
+			}
+		}
+	}
+	for _, f := range d.flush() {
+		if err := h(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ImportPcap reads a capture and reassembles per-connection flows
+// from the server's vantage point. Ethernet and raw-IP link types are
+// supported; IPv4 and IPv6 frames both decode. Non-TCP frames are
+// skipped. Flows are returned in first-seen order, each holding every
+// packet of its client endpoint.
+func ImportPcap(r io.Reader, cfg ImportConfig) ([]*Flow, error) {
 	pr, err := pcap.NewReader(r)
 	if err != nil {
 		return nil, err
 	}
 	raw := pr.Header().LinkType == pcap.LinkTypeRaw
-	type key struct {
-		ip   [16]byte // IPv4 addresses mapped into the low 4 bytes
-		port uint16
-	}
-	flowsByKey := map[key]*Flow{}
-	var order []key
-	var base time.Time
-	haveBase := false
-
+	d := newDemux(cfg, false)
 	for {
 		pkt, err := pr.ReadPacket()
 		if err == io.EOF {
@@ -195,91 +411,9 @@ func ImportPcap(r io.Reader, cfg ImportConfig) ([]*Flow, error) {
 		if err != nil {
 			return nil, err
 		}
-		fr, ok := decodeFrame(pkt.Data, raw)
-		if !ok {
-			continue
-		}
-		var srcIP, dstIP [16]byte
-		var id func(k key) string
-		if fr.IsIPv6 {
-			srcIP, dstIP = fr.IP6.Src, fr.IP6.Dst
-			id = func(k key) string { return fmt.Sprintf("[%x]:%d", k.ip, k.port) }
-		} else {
-			copy(srcIP[:4], fr.IP4.Src[:])
-			copy(dstIP[:4], fr.IP4.Dst[:])
-			id = func(k key) string {
-				return fmt.Sprintf("%d.%d.%d.%d:%d", k.ip[0], k.ip[1], k.ip[2], k.ip[3], k.port)
-			}
-		}
-		var dir tcpsim.Dir
-		var k key
-		switch {
-		case fr.TCP.SrcPort == cfg.ServerPort:
-			dir = tcpsim.DirOut
-			k = key{dstIP, fr.TCP.DstPort}
-		case fr.TCP.DstPort == cfg.ServerPort:
-			dir = tcpsim.DirIn
-			k = key{srcIP, fr.TCP.SrcPort}
-		default:
-			continue
-		}
-		if !haveBase {
-			base = pkt.Timestamp
-			haveBase = true
-		}
-		f, ok := flowsByKey[k]
-		if !ok {
-			f = &Flow{
-				ID:      id(k),
-				Service: "pcap",
-				Done:    true,
-				MSS:     1460,
-			}
-			flowsByKey[k] = f
-			order = append(order, k)
-		}
-		// Payload length from the IP length fields (snaplen-proof).
-		var segLen int
-		if fr.IsIPv6 {
-			segLen = int(fr.IP6.PayloadLen) - fr.TCP.HeaderLen()
-		} else {
-			segLen = int(fr.IP4.TotalLen) - fr.IP4.HeaderLen() - fr.TCP.HeaderLen()
-		}
-		if segLen < 0 {
-			segLen = len(fr.Payload)
-		}
-		seg := tcpsim.Segment{
-			Flags: fr.TCP.Flags,
-			Seq:   fr.TCP.Seq,
-			Ack:   fr.TCP.Ack,
-			Len:   segLen,
-			Wnd:   int(fr.TCP.Window),
-		}
-		if fr.TCP.Options.HasTimestamps {
-			seg.TSVal = ticksToTime(fr.TCP.Options.TSVal)
-			seg.TSEcr = ticksToTime(fr.TCP.Options.TSEcr)
-		}
-		if len(fr.TCP.Options.SACK) > 0 {
-			seg.SACK = append(seg.SACK, fr.TCP.Options.SACK...)
-		}
-		if fr.TCP.Options.HasMSS && fr.TCP.Options.MSS > 0 {
-			f.MSS = int(fr.TCP.Options.MSS)
-		}
-		if dir == tcpsim.DirIn && seg.Flags.Has(packet.FlagSYN) && f.InitRwnd == 0 {
-			f.InitRwnd = seg.Wnd
-		}
-		f.Records = append(f.Records, Record{
-			T:   sim.Time(pkt.Timestamp.Sub(base)),
-			Dir: dir,
-			Seg: seg,
-		})
+		d.add(pkt, raw)
 	}
-
-	flows := make([]*Flow, 0, len(order))
-	for _, k := range order {
-		flows = append(flows, flowsByKey[k])
-	}
-	return flows, nil
+	return d.flush(), nil
 }
 
 // decodeFrame parses one captured record down to TCP, handling both

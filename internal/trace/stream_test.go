@@ -1,0 +1,198 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"tcpstall/internal/packet"
+	"tcpstall/internal/pcap"
+)
+
+// capture hand-builds an Ethernet/IPv4/TCP pcap, one frame at a time,
+// so tests control teardown shapes the simulator never produces.
+type capture struct {
+	t   *testing.T
+	buf bytes.Buffer
+	pw  *pcap.Writer
+	now time.Time
+}
+
+func newCapture(t *testing.T) *capture {
+	c := &capture{t: t, now: time.Date(2014, 12, 22, 18, 0, 0, 0, time.UTC)}
+	pw, err := pcap.NewWriter(&c.buf, pcap.LinkTypeEthernet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.pw = pw
+	return c
+}
+
+var (
+	serverIP = [4]byte{10, 0, 0, 1}
+	clientA  = [4]byte{100, 64, 0, 1}
+	clientB  = [4]byte{100, 64, 0, 2}
+)
+
+const (
+	serverPort = 80
+	clientPort = 12345
+)
+
+// frame appends one packet. fromServer selects direction; payloadLen
+// bytes of zeros ride along.
+func (c *capture) frame(fromServer bool, clientIP [4]byte, flags packet.TCPFlags, seq, ack uint32, payloadLen int) {
+	c.now = c.now.Add(time.Millisecond)
+	tcp := packet.TCPHeader{Seq: seq, Ack: ack, Flags: flags, Window: 65535}
+	var eth packet.Ethernet
+	var ip packet.IPv4
+	ip.TTL = 64
+	if fromServer {
+		ip.Src, ip.Dst = serverIP, clientIP
+		tcp.SrcPort, tcp.DstPort = serverPort, clientPort
+	} else {
+		ip.Src, ip.Dst = clientIP, serverIP
+		tcp.SrcPort, tcp.DstPort = clientPort, serverPort
+	}
+	data := packet.EncodeTCPv4(&eth, &ip, &tcp, make([]byte, payloadLen))
+	if err := c.pw.WritePacket(pcap.Packet{Timestamp: c.now, Data: data}); err != nil {
+		c.t.Fatal(err)
+	}
+}
+
+// stream runs ImportPcapStream over the capture and returns flows in
+// emission order.
+func (c *capture) stream() []*Flow {
+	var out []*Flow
+	err := ImportPcapStream(bytes.NewReader(c.buf.Bytes()), ImportConfig{}, func(f *Flow) error {
+		out = append(out, f)
+		return nil
+	})
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	return out
+}
+
+// TestStreamEmitsOnRST: a reset closes the connection immediately, so
+// packets from the same client endpoint afterwards open a second flow
+// carrying the "#2" generation suffix.
+func TestStreamEmitsOnRST(t *testing.T) {
+	c := newCapture(t)
+	c.frame(false, clientA, packet.FlagSYN, 0, 0, 0)
+	c.frame(true, clientA, packet.FlagSYN|packet.FlagACK, 0, 1, 0)
+	c.frame(false, clientA, packet.FlagACK, 1, 1, 0)
+	c.frame(true, clientA, packet.FlagRST, 1, 1, 0)
+	// Same endpoint comes back: must be a distinct flow.
+	c.frame(false, clientA, packet.FlagSYN, 0, 0, 0)
+	c.frame(true, clientA, packet.FlagSYN|packet.FlagACK, 0, 1, 0)
+
+	flows := c.stream()
+	if len(flows) != 2 {
+		t.Fatalf("got %d flows, want 2", len(flows))
+	}
+	if n := len(flows[0].Records); n != 4 {
+		t.Errorf("first flow has %d records, want 4", n)
+	}
+	if n := len(flows[1].Records); n != 2 {
+		t.Errorf("second flow has %d records, want 2", n)
+	}
+	if flows[0].ID == flows[1].ID {
+		t.Errorf("reincarnated flow shares ID %q with its predecessor", flows[0].ID)
+	}
+	if want := flows[0].ID + "#2"; flows[1].ID != want {
+		t.Errorf("second flow ID = %q, want %q", flows[1].ID, want)
+	}
+}
+
+// TestStreamEmitsOnFINTeardown: after FINs in both directions, the
+// final pure ACK completes the flow mid-capture.
+func TestStreamEmitsOnFINTeardown(t *testing.T) {
+	c := newCapture(t)
+	// Flow A: full handshake, one data segment, full FIN teardown.
+	c.frame(false, clientA, packet.FlagSYN, 0, 0, 0)
+	c.frame(true, clientA, packet.FlagSYN|packet.FlagACK, 0, 1, 0)
+	c.frame(false, clientA, packet.FlagACK, 1, 1, 0)
+	c.frame(true, clientA, packet.FlagACK, 1, 1, 100)
+	c.frame(false, clientA, packet.FlagACK, 1, 101, 0)
+	c.frame(true, clientA, packet.FlagFIN|packet.FlagACK, 101, 1, 0)
+	c.frame(false, clientA, packet.FlagFIN|packet.FlagACK, 1, 102, 0)
+	c.frame(true, clientA, packet.FlagACK, 102, 2, 0) // completes A
+	// Flow B stays open past EOF.
+	c.frame(false, clientB, packet.FlagSYN, 0, 0, 0)
+	c.frame(true, clientB, packet.FlagSYN|packet.FlagACK, 0, 1, 0)
+
+	flows := c.stream()
+	if len(flows) != 2 {
+		t.Fatalf("got %d flows, want 2", len(flows))
+	}
+	if n := len(flows[0].Records); n != 8 {
+		t.Errorf("torn-down flow has %d records, want 8", n)
+	}
+	if n := len(flows[1].Records); n != 2 {
+		t.Errorf("EOF-flushed flow has %d records, want 2", n)
+	}
+}
+
+// TestStreamFINWithoutFinalACKFlushesAtEOF: the simulator's teardown
+// shape — both FINs, no trailing ACK — must NOT complete early, so
+// any late packets still join the same flow and streaming stays
+// identical to batch import.
+func TestStreamFINWithoutFinalACKFlushesAtEOF(t *testing.T) {
+	c := newCapture(t)
+	c.frame(false, clientA, packet.FlagSYN, 0, 0, 0)
+	c.frame(true, clientA, packet.FlagSYN|packet.FlagACK, 0, 1, 0)
+	c.frame(false, clientA, packet.FlagACK, 1, 1, 0)
+	c.frame(true, clientA, packet.FlagFIN|packet.FlagACK, 1, 1, 0)
+	c.frame(false, clientA, packet.FlagFIN|packet.FlagACK, 1, 2, 0)
+
+	flows := c.stream()
+	if len(flows) != 1 {
+		t.Fatalf("got %d flows, want 1", len(flows))
+	}
+	if n := len(flows[0].Records); n != 5 {
+		t.Errorf("flow has %d records, want 5", n)
+	}
+}
+
+// TestStreamMatchesBatchImport: over an interleaved two-client
+// capture, the streaming importer reassembles exactly the flows the
+// batch importer does, record for record.
+func TestStreamMatchesBatchImport(t *testing.T) {
+	c := newCapture(t)
+	c.frame(false, clientA, packet.FlagSYN, 0, 0, 0)
+	c.frame(false, clientB, packet.FlagSYN, 0, 0, 0)
+	c.frame(true, clientA, packet.FlagSYN|packet.FlagACK, 0, 1, 0)
+	c.frame(true, clientB, packet.FlagSYN|packet.FlagACK, 0, 1, 0)
+	c.frame(false, clientA, packet.FlagACK, 1, 1, 0)
+	c.frame(true, clientB, packet.FlagACK, 1, 1, 500)
+	c.frame(true, clientA, packet.FlagACK, 1, 1, 300)
+	c.frame(false, clientB, packet.FlagACK, 1, 501, 0)
+	c.frame(false, clientA, packet.FlagACK, 1, 301, 0)
+
+	streamed := c.stream()
+	batch, err := ImportPcap(bytes.NewReader(c.buf.Bytes()), ImportConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(batch) {
+		t.Fatalf("streamed %d flows, batch %d", len(streamed), len(batch))
+	}
+	for i := range batch {
+		if streamed[i].ID != batch[i].ID {
+			t.Errorf("flow %d: streamed ID %q, batch ID %q", i, streamed[i].ID, batch[i].ID)
+		}
+		if len(streamed[i].Records) != len(batch[i].Records) {
+			t.Errorf("flow %s: streamed %d records, batch %d",
+				batch[i].ID, len(streamed[i].Records), len(batch[i].Records))
+			continue
+		}
+		for j := range batch[i].Records {
+			sr, br := streamed[i].Records[j], batch[i].Records[j]
+			if sr.T != br.T || sr.Dir != br.Dir || sr.Seg.Seq != br.Seg.Seq ||
+				sr.Seg.Len != br.Seg.Len || sr.Seg.Flags != br.Seg.Flags {
+				t.Errorf("flow %s record %d: streamed %+v, batch %+v", batch[i].ID, j, sr, br)
+			}
+		}
+	}
+}

@@ -10,6 +10,9 @@ package workload
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"tcpstall/internal/netem"
@@ -337,8 +340,13 @@ type GenOptions struct {
 	// 300s).
 	Deadline time.Duration
 	// Mutate, when set, adjusts each connection's configuration
-	// after the service model has filled it (ablation hooks).
+	// after the service model has filled it (ablation hooks). It may
+	// be called from several goroutines at once; closures must be
+	// safe for concurrent use (NewRecovery likewise).
 	Mutate func(*tcpsim.ConnConfig)
+	// Workers bounds the simulation pool; <= 0 means
+	// runtime.GOMAXPROCS(0), 1 forces a sequential run.
+	Workers int
 }
 
 // Generate runs n independent connections of the service and returns
@@ -346,17 +354,51 @@ type GenOptions struct {
 // bit-for-bit, and — because every flow derives its randomness from
 // its own sub-seed — two runs with different recovery strategies see
 // identical workloads and paths (the paper's A/B setup).
+//
+// Connections simulate concurrently on opt.Workers goroutines. Every
+// flow's sub-seed is drawn sequentially up front and its result lands
+// at its own index, so the output is identical for every worker
+// count, including the sequential run.
 func Generate(svc Service, seed int64, opt GenOptions) []FlowResult {
 	n := opt.Flows
 	if n <= 0 {
 		n = svc.DefaultFlows
 	}
-	results := make([]FlowResult, 0, n)
 	root := sim.NewRNG(seed)
-	for i := 0; i < n; i++ {
-		flowSeed := root.Int63()
-		results = append(results, genOne(svc, flowSeed, i, opt))
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = root.Int63()
 	}
+	results := make([]FlowResult, n)
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			results[i] = genOne(svc, seeds[i], i, opt)
+		}
+		return results
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				results[i] = genOne(svc, seeds[i], i, opt)
+			}
+		}()
+	}
+	wg.Wait()
 	return results
 }
 
