@@ -129,4 +129,11 @@ func main() {
 		_, out := experiments.LargeFlowThroughput(*seed, *abFlows/2)
 		fmt.Println(out)
 	}
+	if sel("validate") {
+		fmt.Fprintln(os.Stderr, "running ground-truth differential validation...")
+		_, out := experiments.ValidationTable(experiments.Options{
+			Seed: *seed, Scale: *scale, FlowsOverride: *flows, Workers: *workers,
+		})
+		fmt.Println(out)
+	}
 }

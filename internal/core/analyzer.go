@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"tcpstall/internal/packet"
+	"tcpstall/internal/seqspace"
 	"tcpstall/internal/sim"
 	"tcpstall/internal/tcpsim"
 	"tcpstall/internal/trace"
@@ -45,9 +46,11 @@ func DefaultConfig() Config {
 	}
 }
 
-// aSeg is the replayer's per-segment scoreboard entry.
+// aSeg is the replayer's per-segment scoreboard entry. seq is an
+// unwrapped stream offset (low 32 bits = wire value), so entries stay
+// distinct even when a >4 GiB flow reuses wire sequence numbers.
 type aSeg struct {
-	seq     uint32
+	seq     uint64
 	len     int
 	ordinal int
 	sent    int // transmissions seen (1 = original only)
@@ -61,7 +64,7 @@ type aSeg struct {
 	spuriousAt []sim.Time
 }
 
-func (g *aSeg) end() uint32 { return g.seq + uint32(g.len) }
+func (g *aSeg) end() uint64 { return g.seq + uint64(g.len) }
 
 // pendingStall is a detected stall awaiting post-hoc classification.
 type pendingStall struct {
@@ -77,7 +80,7 @@ type pendingStall struct {
 	dupacksAtStart       int
 	outstandingAtStart   int
 	segsAboveOutstanding int
-	maxEndAtStall        uint32
+	maxEndAtStall        uint64
 }
 
 // analyzer replays one flow.
@@ -87,17 +90,22 @@ type analyzer struct {
 	mss  int
 
 	segs   []aSeg
-	segIdx map[uint32]int
+	segIdx map[uint64]int
+
+	// u maps wire sequence/ACK values of the server's data stream onto
+	// monotonic uint64 offsets; every scoreboard comparison below is in
+	// offset space, so wrapped ISNs and >4 GiB flows replay correctly.
+	u seqspace.Unwrapper
 
 	haveBase bool
-	base     uint32
-	sndUna   uint32
-	maxEnd   uint32
+	base     uint64
+	sndUna   uint64
+	maxEnd   uint64
 
 	dupacks    int
 	dupThresh  int
 	caState    tcpsim.CongState
-	recoverSeq uint32
+	recoverSeq uint64
 
 	cwnd     float64
 	ssthresh float64
@@ -111,8 +119,9 @@ type analyzer struct {
 	rwnd     int
 	haveRwnd bool
 
-	// respBounds[i] is the stream offset where response i starts.
-	respBounds  []uint32
+	// respBounds[i] is the unwrapped stream offset where response i
+	// starts.
+	respBounds  []uint64
 	pendingResp int
 
 	lastInT sim.Time
@@ -138,7 +147,7 @@ func Analyze(f *trace.Flow, cfg Config) *FlowAnalysis {
 		cfg:       cfg,
 		flow:      f,
 		mss:       mss,
-		segIdx:    make(map[uint32]int),
+		segIdx:    make(map[uint64]int),
 		dupThresh: cfg.DupThresh,
 		caState:   tcpsim.StateOpen,
 		cwnd:      float64(cfg.InitCwnd),
@@ -212,7 +221,7 @@ func (a *analyzer) onStall(endIdx int, start sim.Time, cur *trace.Record) {
 	}
 	// Is cur_pkt a retransmission of an already-sent segment?
 	if cur.Dir == tcpsim.DirOut && cur.Seg.Len > 0 {
-		if idx, ok := a.segIdx[cur.Seg.Seq]; ok && a.segs[idx].sent >= 1 && !a.segs[idx].acked {
+		if idx, ok := a.segIdx[a.u.Unwrap(cur.Seg.Seq)]; ok && a.segs[idx].sent >= 1 && !a.segs[idx].acked {
 			g := &a.segs[idx]
 			ps.retransSegIdx = idx
 			ps.copiesBefore = g.sent
@@ -224,7 +233,7 @@ func (a *analyzer) onStall(endIdx int, start sim.Time, cur *trace.Record) {
 }
 
 // segsAbove counts distinct sent, unacked segments strictly above seq.
-func (a *analyzer) segsAbove(seq uint32) int {
+func (a *analyzer) segsAbove(seq uint64) int {
 	n := 0
 	for i := range a.segs {
 		g := &a.segs[i]
@@ -275,26 +284,30 @@ func (a *analyzer) processOut(r *trace.Record) {
 	seg := &r.Seg
 	if seg.Len == 0 {
 		if seg.Flags.Has(packet.FlagSYN) {
+			// The SYN-ACK carries the server's ISN; seed the unwrapper
+			// here so the first data byte (ISN+1) lands next to it.
+			a.u.Unwrap(seg.Seq)
 			a.synackAt = r.T
 		}
 		return // pure ACK, probe, SYN-ACK, FIN
 	}
+	off := a.u.Unwrap(seg.Seq)
 	if !a.haveBase {
 		a.haveBase = true
-		a.base = seg.Seq
-		a.sndUna = seg.Seq
-		a.maxEnd = seg.Seq
+		a.base = off
+		a.sndUna = off
+		a.maxEnd = off
 		// The first response starts at the first data byte; requests
 		// seen before any data anchor here too.
-		a.respBounds = append(a.respBounds, seg.Seq)
+		a.respBounds = append(a.respBounds, off)
 		a.pendingResp = 0
 	}
-	idx, seen := a.segIdx[seg.Seq]
+	idx, seen := a.segIdx[off]
 	if !seen {
 		idx = len(a.segs)
-		a.segIdx[seg.Seq] = idx
+		a.segIdx[off] = idx
 		a.segs = append(a.segs, aSeg{
-			seq:      seg.Seq,
+			seq:      off,
 			len:      seg.Len,
 			ordinal:  idx,
 			lastSent: r.T,
@@ -304,8 +317,8 @@ func (a *analyzer) processOut(r *trace.Record) {
 	g := &a.segs[idx]
 	g.sent++
 	g.lastSent = r.T
-	if seg.Seq+uint32(seg.Len) > a.maxEnd {
-		a.maxEnd = seg.Seq + uint32(seg.Len)
+	if off+uint64(seg.Len) > a.maxEnd {
+		a.maxEnd = off + uint64(seg.Len)
 	}
 	if g.sent > 1 {
 		// Retransmission.
@@ -388,17 +401,28 @@ func (a *analyzer) processIn(r *trace.Record) {
 		}
 	}
 
+	// ACK values and SACK edges live in the server's data sequence
+	// space: unwrap them with the same unwrapper as outgoing data.
+	var ack uint64
+	hasAck := seg.Flags.Has(packet.FlagACK)
+	if hasAck {
+		ack = a.u.Unwrap(seg.Ack)
+	}
+
 	// DSACK detection (RFC 2883): first block at/below the ACK or
-	// contained in the second block.
+	// contained in the second block. Wire-space modular comparisons
+	// suffice here — the blocks sit within one window of each other.
 	dsacked := false
 	if len(seg.SACK) > 0 {
 		b0 := seg.SACK[0]
-		if b0.Right <= seg.Ack ||
-			(len(seg.SACK) > 1 && b0.Left >= seg.SACK[1].Left && b0.Right <= seg.SACK[1].Right) {
+		if (hasAck && seqspace.LessEq(b0.Right, seg.Ack)) ||
+			(len(seg.SACK) > 1 && seqspace.LessEq(seg.SACK[1].Left, b0.Left) &&
+				seqspace.LessEq(b0.Right, seg.SACK[1].Right)) {
 			dsacked = true
+			l0, r0 := a.u.Unwrap(b0.Left), a.u.Unwrap(b0.Right)
 			for i := range a.segs {
 				g := &a.segs[i]
-				if g.seq >= b0.Left && g.end() <= b0.Right {
+				if g.seq >= l0 && g.end() <= r0 {
 					g.spuriousAt = append(g.spuriousAt, r.T)
 				}
 			}
@@ -411,12 +435,13 @@ func (a *analyzer) processIn(r *trace.Record) {
 		if dsacked && bi == 0 {
 			continue
 		}
+		l, rr := a.u.Unwrap(b.Left), a.u.Unwrap(b.Right)
 		for i := range a.segs {
 			g := &a.segs[i]
 			if g.acked || g.sacked {
 				continue
 			}
-			if g.seq >= b.Left && g.end() <= b.Right {
+			if g.seq >= l && g.end() <= rr {
 				g.sacked = true
 				sackedNew = true
 			}
@@ -424,9 +449,9 @@ func (a *analyzer) processIn(r *trace.Record) {
 	}
 
 	switch {
-	case a.haveBase && seg.Ack > a.sndUna:
-		a.newAck(r, seg)
-	case a.haveBase && seg.Ack == a.sndUna && seg.Len == 0 &&
+	case a.haveBase && hasAck && ack > a.sndUna:
+		a.newAck(r, seg, ack)
+	case a.haveBase && hasAck && ack == a.sndUna && seg.Len == 0 &&
 		a.packetsOut() > 0 && (sackedNew || len(seg.SACK) > 0 || seg.Wnd == prevRwnd):
 		a.dupacks++
 		if a.caState == tcpsim.StateOpen {
@@ -441,20 +466,20 @@ func (a *analyzer) processIn(r *trace.Record) {
 	a.out.InFlightOnAck = append(a.out.InFlightOnAck, a.inFlight())
 }
 
-func (a *analyzer) newAck(r *trace.Record, seg *tcpsim.Segment) {
+func (a *analyzer) newAck(r *trace.Record, seg *tcpsim.Segment, ack uint64) {
 	newlyAcked := 0
 	var edge *aSeg
 	for i := range a.segs {
 		g := &a.segs[i]
-		if !g.acked && g.end() <= seg.Ack {
+		if !g.acked && g.end() <= ack {
 			g.acked = true
 			newlyAcked++
-			if g.end() == seg.Ack {
+			if g.end() == ack {
 				edge = g
 			}
 		}
 	}
-	a.sndUna = seg.Ack
+	a.sndUna = ack
 	a.dupacks = 0
 	a.rtoBackoff = 0
 
@@ -481,7 +506,7 @@ func (a *analyzer) newAck(r *trace.Record, seg *tcpsim.Segment) {
 	// State transitions.
 	switch a.caState {
 	case tcpsim.StateRecovery, tcpsim.StateLoss:
-		if seg.Ack >= a.recoverSeq {
+		if ack >= a.recoverSeq {
 			a.caState = tcpsim.StateOpen
 			a.cwnd = maxf(a.ssthresh, 2)
 		}

@@ -35,10 +35,10 @@ func (a *analyzer) finalize() {
 	}
 }
 
-// respRange locates the response containing stream offset seq and
-// returns its [start, end) bounds. The end of the last response is
-// the flow's final snd_nxt.
-func (a *analyzer) respRange(seq uint32) (start, end uint32) {
+// respRange locates the response containing unwrapped stream offset
+// seq and returns its [start, end) bounds. The end of the last
+// response is the flow's final snd_nxt.
+func (a *analyzer) respRange(seq uint64) (start, end uint64) {
 	start = a.base
 	end = a.maxEnd
 	for _, b := range a.respBounds {
@@ -53,8 +53,8 @@ func (a *analyzer) respRange(seq uint32) (start, end uint32) {
 	return start, end
 }
 
-// isRespHead reports whether seq starts a response.
-func (a *analyzer) isRespHead(seq uint32) bool {
+// isRespHead reports whether unwrapped offset seq starts a response.
+func (a *analyzer) isRespHead(seq uint64) bool {
 	for _, b := range a.respBounds {
 		if b == seq {
 			return true
@@ -78,7 +78,7 @@ func (a *analyzer) topCause(ps *pendingStall, cur *trace.Record) Cause {
 		}
 		// New data after silence: the transport was willing but had
 		// nothing to send — server-side cause, split by position.
-		if a.isRespHead(cur.Seg.Seq) {
+		if a.isRespHead(a.u.Unwrap(cur.Seg.Seq)) {
 			return CauseDataUnavailable
 		}
 		if ps.outstandingAtStart == 0 {

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"bytes"
 	"math"
 	"testing"
 	"testing/quick"
@@ -11,7 +10,6 @@ import (
 	"tcpstall/internal/sim"
 	"tcpstall/internal/tcpsim"
 	"tcpstall/internal/trace"
-	"tcpstall/internal/workload"
 )
 
 // TAPO must accept arbitrary (including nonsensical) record
@@ -62,154 +60,6 @@ func TestPropertyAnalyzerNeverPanics(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
 	}
-}
-
-// Analyzing a flow and analyzing its pcap round trip must agree: the
-// classifier sees the same world through both paths (timestamps
-// differ only at sub-ms resolution, which the stall taxonomy ignores
-// at these scales).
-func TestPcapRoundTripAnalysisConsistency(t *testing.T) {
-	res := workload.Generate(workload.SoftwareDownload(), 31, workload.GenOptions{Flows: 25})
-	var flows []*trace.Flow
-	for _, r := range res {
-		if r.Flow != nil && r.Metrics.Done {
-			flows = append(flows, r.Flow)
-		}
-	}
-	if len(flows) < 20 {
-		t.Fatalf("only %d flows", len(flows))
-	}
-	var buf bytes.Buffer
-	if err := trace.ExportPcap(&buf, flows, trace.ExportConfig{}); err != nil {
-		t.Fatal(err)
-	}
-	imported, err := trace.ImportPcap(&buf, trace.ImportConfig{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(imported) != len(flows) {
-		t.Fatalf("imported %d of %d flows", len(imported), len(flows))
-	}
-	// Imported flows lose their IDs; match by record count + bytes.
-	type key struct {
-		recs  int
-		bytes int64
-	}
-	direct := map[key][]*FlowAnalysis{}
-	for _, fl := range flows {
-		a := Analyze(fl, DefaultConfig())
-		k := key{len(fl.Records), fl.DataBytes()}
-		direct[k] = append(direct[k], a)
-	}
-	// RFC 7323 timestamps quantize to millisecond ticks in the pcap,
-	// so RTT samples (and hence the min(2·SRTT, RTO) threshold) shift
-	// slightly: gaps sitting at the boundary may (dis)appear in
-	// either representation — exactly as between two real captures
-	// of the same connection at different clock resolutions. The
-	// classification of the stalls detected in both must agree, so we
-	// allow per-cause drift of 1 and total drift of 3.
-	matched := 0
-	for _, fl := range imported {
-		a := Analyze(fl, DefaultConfig())
-		k := key{len(fl.Records), fl.DataBytes()}
-		cands := direct[k]
-		if len(cands) == 0 {
-			t.Errorf("no direct analysis matches imported flow %s (%v)", fl.ID, k)
-			continue
-		}
-		ok := false
-		for _, d := range cands {
-			if closeRetransMix(a, d) && sameStructuralMix(a, d) {
-				ok = true
-				break
-			}
-		}
-		if !ok {
-			t.Errorf("flow %s: stall mix diverges between direct and pcap paths\n direct: %v\n import: %v",
-				fl.ID, mixOf(cands[0]), mixOf(a))
-			continue
-		}
-		matched++
-	}
-	if matched < len(imported)*9/10 {
-		t.Errorf("only %d/%d flows matched", matched, len(imported))
-	}
-}
-
-// sameStructuralMix compares the timing-insensitive causes (server
-// and client side): unlike packet-delay stalls, these ride on
-// sequence/window analysis and must survive the round trip exactly.
-func sameStructuralMix(a, b *FlowAnalysis) bool {
-	count := func(x *FlowAnalysis) map[Cause]int {
-		m := map[Cause]int{}
-		for _, st := range x.Stalls {
-			switch st.Cause {
-			case CauseDataUnavailable, CauseResourceConstraint,
-				CauseClientIdle, CauseZeroWindow:
-				m[st.Cause]++
-			}
-		}
-		return m
-	}
-	ma, mb := count(a), count(b)
-	for k := range mb {
-		if _, ok := ma[k]; !ok {
-			ma[k] = 0
-		}
-	}
-	for k, v := range ma {
-		if mb[k] != v {
-			return false
-		}
-	}
-	return true
-}
-
-func absInt(x int) int {
-	if x < 0 {
-		return -x
-	}
-	return x
-}
-
-// closeRetransMix compares the timeout-retransmission stall multisets
-// allowing a drift of one event per cause (boundary effects of the
-// millisecond timestamp resolution).
-func closeRetransMix(a, b *FlowAnalysis) bool {
-	ra, rb := map[RetransCause]int{}, map[RetransCause]int{}
-	for _, st := range a.Stalls {
-		if st.Cause == CauseTimeoutRetrans {
-			ra[st.RetransCause]++
-		}
-	}
-	for _, st := range b.Stalls {
-		if st.Cause == CauseTimeoutRetrans {
-			rb[st.RetransCause]++
-		}
-	}
-	for k := range rb {
-		if _, ok := ra[k]; !ok {
-			ra[k] = 0
-		}
-	}
-	for k, v := range ra {
-		if absInt(rb[k]-v) > 1 {
-			return false
-		}
-	}
-	return true
-}
-
-func mixOf(a *FlowAnalysis) map[string]int {
-	m := map[string]int{}
-	for _, st := range a.Stalls {
-		k := st.Cause.String()
-		if st.Cause == CauseTimeoutRetrans {
-			k += "/" + st.RetransCause.String()
-		}
-		m[k]++
-	}
-	return m
 }
 
 // The stall threshold must always sit between the configured floor

@@ -1,0 +1,119 @@
+// Package groundtruth records what the simulator actually did to each
+// flow — RTO firings, retransmissions, zero-window episodes,
+// application write delays, request arrivals, netem drops — and
+// grades TAPO's wire-only stall classifications against those
+// privileged facts. This is the repo's analogue of the paper's §3.4
+// kernel-instrumented validation, where TAPO agreed with ground truth
+// on ~97% of stalls: every future analyzer change is checked against
+// the same oracle.
+package groundtruth
+
+import (
+	"tcpstall/internal/sim"
+	"tcpstall/internal/tcpsim"
+)
+
+// EventKind tags one recorded truth event.
+type EventKind int
+
+// Event kinds.
+const (
+	// EventRTOFire: the sender's retransmission timer expired.
+	EventRTOFire EventKind = iota
+	// EventRetrans: a data segment was retransmitted (WireSeq set).
+	EventRetrans
+	// EventZeroWindow: the receiver's advertised window transitioned
+	// (Zero reports the new state).
+	EventZeroWindow
+	// EventAppWrite: the server application handed delayed bytes to
+	// TCP (Write distinguishes head delay from mid-response pause).
+	EventAppWrite
+	// EventRequest: a client request reached the server (Outstanding
+	// reports whether response data was still unacked).
+	EventRequest
+	// EventDrop: the emulated network dropped a packet.
+	EventDrop
+)
+
+// Event is one privileged simulator fact with its virtual timestamp.
+type Event struct {
+	T    sim.Time
+	Kind EventKind
+	// WireSeq is the retransmitted segment's wire sequence number
+	// (EventRetrans only).
+	WireSeq uint32
+	// Zero is the window state after an EventZeroWindow transition.
+	Zero bool
+	// Write is the delayed-write kind for EventAppWrite.
+	Write tcpsim.AppWriteKind
+	// Outstanding is the unacked-data state at an EventRequest.
+	Outstanding bool
+}
+
+// FlowTruth is the per-flow ground-truth event log, in event order
+// (the simulator emits them chronologically).
+type FlowTruth struct {
+	Events []Event
+}
+
+// ZeroAt reports whether the receiver's advertised window was zero at
+// time t (state of the last transition at or before t).
+func (ft *FlowTruth) ZeroAt(t sim.Time) bool {
+	zero := false
+	for i := range ft.Events {
+		e := &ft.Events[i]
+		if e.T > t {
+			break
+		}
+		if e.Kind == EventZeroWindow {
+			zero = e.Zero
+		}
+	}
+	return zero
+}
+
+// Recorder accumulates a FlowTruth. It implements tcpsim.TruthSink
+// and doubles as a netem OnDrop hook; all callbacks run on the flow's
+// simulator goroutine, so no locking is needed.
+type Recorder struct {
+	sm    *sim.Simulator
+	truth FlowTruth
+}
+
+// NewRecorder builds a recorder; the simulator timestamps drop
+// events (the netem hook does not carry a time).
+func NewRecorder(s *sim.Simulator) *Recorder { return &Recorder{sm: s} }
+
+// Truth returns the accumulated event log.
+func (r *Recorder) Truth() *FlowTruth { return &r.truth }
+
+// RTOFire implements tcpsim.TruthSink.
+func (r *Recorder) RTOFire(t sim.Time) {
+	r.truth.Events = append(r.truth.Events, Event{T: t, Kind: EventRTOFire})
+}
+
+// RetransSent implements tcpsim.TruthSink.
+func (r *Recorder) RetransSent(t sim.Time, wireSeq uint32) {
+	r.truth.Events = append(r.truth.Events, Event{T: t, Kind: EventRetrans, WireSeq: wireSeq})
+}
+
+// ZeroWindow implements tcpsim.TruthSink.
+func (r *Recorder) ZeroWindow(t sim.Time, zero bool) {
+	r.truth.Events = append(r.truth.Events, Event{T: t, Kind: EventZeroWindow, Zero: zero})
+}
+
+// AppWrite implements tcpsim.TruthSink.
+func (r *Recorder) AppWrite(t sim.Time, kind tcpsim.AppWriteKind) {
+	r.truth.Events = append(r.truth.Events, Event{T: t, Kind: EventAppWrite, Write: kind})
+}
+
+// RequestArrival implements tcpsim.TruthSink.
+func (r *Recorder) RequestArrival(t sim.Time, outstanding bool) {
+	r.truth.Events = append(r.truth.Events, Event{T: t, Kind: EventRequest, Outstanding: outstanding})
+}
+
+// Drop is a netem OnDrop hook; the packet itself is irrelevant, only
+// that the network ate one at this instant.
+func (r *Recorder) Drop(any) {
+	r.truth.Events = append(r.truth.Events, Event{T: r.sm.Now(), Kind: EventDrop})
+}

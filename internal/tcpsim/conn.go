@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"tcpstall/internal/packet"
+	"tcpstall/internal/seqspace"
 	"tcpstall/internal/sim"
 )
 
@@ -55,6 +56,18 @@ type ConnConfig struct {
 	// Deadline aborts the connection after this much virtual time
 	// (default 300s); aborted connections report Done=false.
 	Deadline time.Duration
+	// ClientISN and ServerISN set the initial sequence numbers
+	// explicitly (default 0, the historical behaviour every golden
+	// trace pins). ISNRng, when non-nil, overrides both with random
+	// draws — the realistic case, exercising sequence wraparound for
+	// ISNs near 2^32−1.
+	ClientISN uint32
+	ServerISN uint32
+	ISNRng    *sim.RNG
+	// Truth, when non-nil, receives privileged ground-truth events
+	// (RTO firings, retransmissions, zero-window transitions, app
+	// writes, request arrivals) for differential validation.
+	Truth TruthSink
 }
 
 // ConnMetrics summarizes one connection for the evaluation harness.
@@ -102,23 +115,31 @@ type Conn struct {
 	snd *Sender
 	rcv *Receiver
 
-	// server receive state (client requests)
-	srvRcvNxt uint32
+	// ISNs resolved at construction (wire values).
+	cliISN uint32
+	srvISN uint32
+
+	// server receive state (client requests); srvRcvNxt is an
+	// unwrapped stream offset via srvRcvU.
+	srvRcvNxt uint64
+	srvRcvU   seqspace.Unwrapper
 	srvWnd    int
 
-	// client send state
-	cliSndNxt   uint32
+	// client send state; cliSndNxt is an unwrapped stream offset.
+	cliSndNxt   uint64
 	established bool
 	synSent     bool
 	cliTimer    *sim.Timer
 	cliBackoff  int
 	pendingReq  *Segment // unacknowledged request (or SYN) to retransmit
 
-	reqIdx      int   // next request to issue
-	served      int   // requests handed to the server app
-	deliveredSz int64 // bytes the client app consumed
-	respEnd     []uint32
+	reqIdx      int      // next request to issue
+	served      int      // requests handed to the server app
+	deliveredSz int64    // bytes the client app consumed
+	respEnd     []uint64 // unwrapped offsets of each response's end
 	doneFired   bool
+
+	truth TruthSink
 
 	synackSentAt sim.Time
 	rttSeeded    bool
@@ -149,15 +170,24 @@ func NewConn(s *sim.Simulator, cfg ConnConfig, paths PathPair, sink TraceSink) *
 		paths:  paths,
 		sink:   sink,
 		srvWnd: 65535,
+		cliISN: cfg.ClientISN,
+		srvISN: cfg.ServerISN,
+		truth:  cfg.Truth,
 	}
-	c.snd = NewSender(s, cfg.Sender, 1)
-	c.rcv = NewReceiver(s, cfg.Receiver, 1)
+	if cfg.ISNRng != nil {
+		c.cliISN = uint32(cfg.ISNRng.Int63())
+		c.srvISN = uint32(cfg.ISNRng.Int63())
+	}
+	c.snd = NewSender(s, cfg.Sender, c.srvISN+1)
+	c.rcv = NewReceiver(s, cfg.Receiver, c.srvISN+1)
 	c.cliTimer = sim.NewTimer(s, c.onClientTimer)
 
 	c.snd.Output = c.serverTransmit
 	c.rcv.Output = c.clientTransmit
 	c.rcv.OnDeliver = c.onClientDeliver
 	c.snd.OnAllAcked = nil // completion is tracked per request
+	c.snd.truth = cfg.Truth
+	c.rcv.truth = cfg.Truth
 	return c
 }
 
@@ -213,7 +243,7 @@ func (c *Conn) finish(done bool) {
 // Loss of these segments is tolerated without retransmission; the
 // analysis metrics are already final.
 func (c *Conn) exchangeFINs() {
-	fin := &Segment{Flags: packet.FlagFIN | packet.FlagACK, Seq: c.snd.SndNxt(), Ack: c.srvRcvNxt, Wnd: c.srvWnd}
+	fin := &Segment{Flags: packet.FlagFIN | packet.FlagACK, Seq: c.snd.SndNxt(), Ack: uint32(c.srvRcvNxt), Wnd: c.srvWnd}
 	c.record(DirOut, fin)
 	c.paths.Down(fin, fin.WireSize())
 }
@@ -222,7 +252,7 @@ func (c *Conn) exchangeFINs() {
 
 func (c *Conn) sendSYN() {
 	c.synSent = true
-	syn := &Segment{Flags: packet.FlagSYN, Seq: 0, Wnd: c.cfg.Receiver.InitRwnd}
+	syn := &Segment{Flags: packet.FlagSYN, Seq: c.cliISN, Wnd: c.cfg.Receiver.InitRwnd}
 	c.pendingReq = syn
 	c.cliTimer.Reset(c.clientRTO())
 	c.paths.Up(syn, syn.WireSize())
@@ -251,7 +281,7 @@ func (c *Conn) onClientTimer() {
 
 // clientTransmit sends a receiver-generated pure ACK upstream.
 func (c *Conn) clientTransmit(seg *Segment) {
-	seg.Seq = c.cliSndNxt
+	seg.Seq = uint32(c.cliSndNxt)
 	c.paths.Up(seg, seg.WireSize())
 }
 
@@ -269,9 +299,9 @@ func (c *Conn) ClientDeliver(pkt any) {
 			c.pendingReq = nil
 			c.cliTimer.Stop()
 			c.cliBackoff = 0
-			c.cliSndNxt = 1
+			c.cliSndNxt = seqspace.Expand(c.cliISN) + 1
 			// Handshake-completing ACK.
-			ack := &Segment{Flags: packet.FlagACK, Seq: 1, Ack: 1, Wnd: c.rcv.Window()}
+			ack := &Segment{Flags: packet.FlagACK, Seq: uint32(c.cliSndNxt), Ack: seg.Seq + 1, Wnd: c.rcv.Window()}
 			c.paths.Up(ack, ack.WireSize())
 			c.scheduleNextRequest()
 		}
@@ -279,14 +309,14 @@ func (c *Conn) ClientDeliver(pkt any) {
 	}
 	if seg.Flags.Has(packet.FlagFIN) {
 		// Passive close: ACK the FIN; nothing else matters.
-		ack := &Segment{Flags: packet.FlagACK | packet.FlagFIN, Seq: c.cliSndNxt, Ack: seg.End(), Wnd: c.rcv.Window()}
+		ack := &Segment{Flags: packet.FlagACK | packet.FlagFIN, Seq: uint32(c.cliSndNxt), Ack: seg.End(), Wnd: c.rcv.Window()}
 		c.paths.Up(ack, ack.WireSize())
 		return
 	}
 	// The server's ACK state rides on every downlink segment; once it
 	// covers the in-flight request, stop the client retransmit timer.
 	if c.pendingReq != nil && c.established && seg.Flags.Has(packet.FlagACK) {
-		if seg.Ack >= c.pendingReq.Seq+uint32(c.pendingReq.Len) {
+		if seqspace.LessEq(c.pendingReq.Seq+uint32(c.pendingReq.Len), seg.Ack) {
 			c.pendingReq = nil
 			c.cliTimer.Stop()
 		}
@@ -310,12 +340,12 @@ func (c *Conn) issueRequest(idx int) {
 	}
 	seg := &Segment{
 		Flags: packet.FlagACK | packet.FlagPSH,
-		Seq:   c.cliSndNxt,
+		Seq:   uint32(c.cliSndNxt),
 		Len:   c.cfg.RequestSize,
 		Ack:   c.rcv.RcvNxt(),
 		Wnd:   c.rcv.Window(),
 	}
-	c.cliSndNxt += uint32(c.cfg.RequestSize)
+	c.cliSndNxt += uint64(c.cfg.RequestSize)
 	c.metrics.RequestSentAt = append(c.metrics.RequestSentAt, c.sm.Now())
 	c.metrics.RequestDoneAt = append(c.metrics.RequestDoneAt, 0)
 	c.pendingReq = seg
@@ -345,7 +375,7 @@ func (c *Conn) onClientDeliver(n int) {
 // serverTransmit stamps server receive state onto an outgoing
 // sender segment, records it, and puts it on the downlink.
 func (c *Conn) serverTransmit(seg *Segment) {
-	seg.Ack = c.srvRcvNxt
+	seg.Ack = uint32(c.srvRcvNxt)
 	seg.Wnd = c.srvWnd
 	c.record(DirOut, seg)
 	c.paths.Down(seg, seg.WireSize())
@@ -361,11 +391,12 @@ func (c *Conn) ServerDeliver(pkt any) {
 	c.record(DirIn, seg)
 
 	if seg.Flags.Has(packet.FlagSYN) {
-		// (Re)send SYN-ACK; duplicates are harmless.
-		if c.srvRcvNxt < 1 {
-			c.srvRcvNxt = 1
+		// (Re)send SYN-ACK; duplicates are harmless (the unwrapper
+		// resolves a retransmitted SYN to the same offset).
+		if off := c.srvRcvU.Unwrap(seg.Seq); off+1 > c.srvRcvNxt {
+			c.srvRcvNxt = off + 1
 		}
-		synack := &Segment{Flags: packet.FlagSYN | packet.FlagACK, Seq: 0, Ack: 1, Wnd: c.srvWnd}
+		synack := &Segment{Flags: packet.FlagSYN | packet.FlagACK, Seq: c.srvISN, Ack: uint32(c.srvRcvNxt), Wnd: c.srvWnd}
 		c.synackSentAt = c.sm.Now()
 		c.record(DirOut, synack)
 		c.paths.Down(synack, synack.WireSize())
@@ -382,14 +413,19 @@ func (c *Conn) ServerDeliver(pkt any) {
 	}
 
 	if seg.Len > 0 {
-		// Client request data.
-		end := seg.Seq + uint32(seg.Len)
+		// Client request data. A duplicate copy (client retransmission)
+		// still marks a request arrival for the ground truth: it is the
+		// event that ends a client-side stall on the wire.
+		end := c.srvRcvU.Unwrap(seg.Seq) + uint64(seg.Len)
 		isNew := end > c.srvRcvNxt
 		if isNew {
 			c.srvRcvNxt = end
 		}
+		if c.truth != nil {
+			c.truth.RequestArrival(c.sm.Now(), c.snd.HasOutstanding())
+		}
 		// Quick-ACK the request so the client timer disarms.
-		ack := &Segment{Flags: packet.FlagACK, Seq: c.snd.SndNxt(), Ack: c.srvRcvNxt, Wnd: c.srvWnd}
+		ack := &Segment{Flags: packet.FlagACK, Seq: c.snd.SndNxt(), Ack: uint32(c.srvRcvNxt), Wnd: c.srvWnd}
 		c.record(DirOut, ack)
 		c.paths.Down(ack, ack.WireSize())
 		if isNew {
@@ -411,11 +447,11 @@ func (c *Conn) serveRequest() {
 	}
 	req := c.cfg.Requests[c.served]
 	c.served++
-	var prevEnd uint32 = 1
+	prevEnd := c.snd.base // stream start: unwrapped offset of srvISN+1
 	if n := len(c.respEnd); n > 0 {
 		prevEnd = c.respEnd[n-1]
 	}
-	c.respEnd = append(c.respEnd, prevEnd+uint32(req.Size))
+	c.respEnd = append(c.respEnd, prevEnd+uint64(req.Size))
 	c.metrics.BytesServed += req.Size
 
 	// Feed the sender in chunks separated by the configured pauses.
@@ -447,6 +483,13 @@ func (c *Conn) serveRequest() {
 			if c.doneFired {
 				return
 			}
+			if c.truth != nil && chunks[i].after > 0 {
+				kind := WriteAfterPause
+				if i == 0 {
+					kind = WriteAfterHeadDelay
+				}
+				c.truth.AppWrite(c.sm.Now(), kind)
+			}
 			c.snd.Write(chunks[i].bytes)
 			feed(i + 1)
 		})
@@ -457,13 +500,13 @@ func (c *Conn) serveRequest() {
 // checkRequestCompletion records response-acked times and finishes
 // the connection when the last response is fully acknowledged.
 func (c *Conn) checkRequestCompletion() {
-	una := c.snd.SndUna()
+	una := c.snd.sndUna64()
 	for i, end := range c.respEnd {
 		if c.metrics.RequestDoneAt[i] == 0 && una >= end && i < len(c.metrics.RequestDoneAt) {
 			c.metrics.RequestDoneAt[i] = c.sm.Now()
 		}
 	}
-	if len(c.respEnd) == len(c.cfg.Requests) && c.snd.SndUna() >= c.respEnd[len(c.respEnd)-1] {
+	if len(c.respEnd) == len(c.cfg.Requests) && una >= c.respEnd[len(c.respEnd)-1] {
 		c.finish(true)
 	}
 }

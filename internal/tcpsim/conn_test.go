@@ -166,7 +166,7 @@ func dropCopies(h *harness, ordinal, copies int) {
 			if haveTarget && seg.Seq == target && perSeq[seg.Seq] <= copies {
 				// Swallowed by the "network": record it as the server
 				// NIC would have, but never deliver.
-				seg.Ack = h.conn.srvRcvNxt
+				seg.Ack = uint32(h.conn.srvRcvNxt)
 				seg.Wnd = h.conn.srvWnd
 				h.conn.record(DirOut, seg)
 				return

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"tcpstall/internal/packet"
+	"tcpstall/internal/seqspace"
 	"tcpstall/internal/sim"
 )
 
@@ -71,8 +72,8 @@ type ReceiverStats struct {
 	WindowUpdates      int
 }
 
-// span is a half-open byte range [l, r).
-type span struct{ l, r uint32 }
+// span is a half-open byte range [l, r) in unwrapped stream offsets.
+type span struct{ l, r uint64 }
 
 // Receiver is the client-side endpoint: reassembly, delayed ACKs,
 // SACK/DSACK generation and finite-buffer window management.
@@ -88,8 +89,12 @@ type Receiver struct {
 	// read it (byte count per advance).
 	OnDeliver func(n int)
 
-	rcvNxt  uint32
-	readPtr uint32
+	// rcvNxt and readPtr are unwrapped stream offsets; the low 32 bits
+	// are the wire value. Reassembly happens entirely in offset space
+	// so ordering survives sequence numbers wrapping past 2^32.
+	rcvNxt  uint64
+	readPtr uint64
+	u       seqspace.Unwrapper
 	ooo     []span // recency-ordered (most recent first)
 
 	pendingSegs int // full segments since last ACK
@@ -105,6 +110,11 @@ type Receiver struct {
 	// segment that touched the left edge of the window, echoed back
 	// in every ACK so the sender can take unambiguous RTT samples.
 	tsRecent sim.Time
+
+	// truth, when set, observes zero-window open/close transitions for
+	// the ground-truth recorder; truthZero tracks the reported state.
+	truth     TruthSink
+	truthZero bool
 
 	stats ReceiverStats
 }
@@ -125,11 +135,11 @@ func NewReceiver(s *sim.Simulator, cfg ReceiverConfig, startSeq uint32) *Receive
 		cfg.ReadInterval = 10 * time.Millisecond
 	}
 	r := &Receiver{
-		sm:      s,
-		cfg:     cfg,
-		rcvNxt:  startSeq,
-		readPtr: startSeq,
+		sm:  s,
+		cfg: cfg,
 	}
+	r.rcvNxt = r.u.Unwrap(startSeq)
+	r.readPtr = r.rcvNxt
 	r.delack = sim.NewTimer(s, r.onDelAck)
 	r.readTimer = sim.NewTimer(s, r.onRead)
 	for _, p := range cfg.ReadPauses {
@@ -142,8 +152,8 @@ func NewReceiver(s *sim.Simulator, cfg ReceiverConfig, startSeq uint32) *Receive
 // Stats returns a copy of the receiver counters.
 func (r *Receiver) Stats() ReceiverStats { return r.stats }
 
-// RcvNxt reports the next expected in-order byte.
-func (r *Receiver) RcvNxt() uint32 { return r.rcvNxt }
+// RcvNxt reports the next expected in-order byte as a wire value.
+func (r *Receiver) RcvNxt() uint32 { return uint32(r.rcvNxt) }
 
 // rawWindow is the free buffer space in bytes.
 func (r *Receiver) rawWindow() int {
@@ -219,9 +229,12 @@ func (r *Receiver) drainInstant() {
 // probe, or FIN-bearing).
 func (r *Receiver) HandleData(seg *Segment) {
 	r.stats.SegmentsReceived++
+	// Unwrap the wire sequence into offset space once; every ordering
+	// decision below compares offsets, never raw uint32s.
+	off := r.u.Unwrap(seg.Seq)
 	// RFC 7323: update ts_recent when the segment covers (or abuts)
 	// the next expected byte.
-	if seg.TSVal > 0 && seg.Seq <= r.rcvNxt {
+	if seg.TSVal > 0 && off <= r.rcvNxt {
 		r.tsRecent = seg.TSVal
 	}
 	if seg.Len == 0 {
@@ -229,30 +242,30 @@ func (r *Receiver) HandleData(seg *Segment) {
 		// (seq = snd_una − 1 in Linux); RFC 793 obliges an ACK with
 		// the current window. In-window bare ACKs are not answered —
 		// ACKing ACKs would loop.
-		if seg.Seq < r.rcvNxt {
+		if off < r.rcvNxt {
 			r.sendAck(nil)
 		}
 		return
 	}
 	r.stats.BytesReceived += int64(seg.Len)
-	end := seg.Seq + uint32(seg.Len)
+	end := off + uint64(seg.Len)
 	switch {
 	case end <= r.rcvNxt:
 		// Full duplicate: DSACK (RFC 2883) right away.
 		r.stats.DuplicateSegments++
 		r.stats.DSACKsSent++
-		dup := span{seg.Seq, end}
+		dup := span{off, end}
 		r.sendAck(&dup)
 		return
-	case seg.Seq > r.rcvNxt:
+	case off > r.rcvNxt:
 		// Out of order: queue and emit an immediate dupack with SACK.
 		r.stats.OutOfOrderSegments++
-		r.insertOOO(span{seg.Seq, end})
+		r.insertOOO(span{off, end})
 		r.sendAck(nil)
 		return
 	default:
 		// In-order (possibly overlapping the left edge).
-		wasDup := seg.Seq < r.rcvNxt
+		wasDup := off < r.rcvNxt
 		r.advance(end)
 		if wasDup {
 			r.stats.DuplicateSegments++
@@ -274,7 +287,7 @@ func (r *Receiver) HandleData(seg *Segment) {
 
 // advance moves rcvNxt to at least end, merging any contiguous
 // out-of-order spans, and drives the app-read model.
-func (r *Receiver) advance(end uint32) {
+func (r *Receiver) advance(end uint64) {
 	if end > r.rcvNxt {
 		r.rcvNxt = end
 	}
@@ -325,7 +338,7 @@ func (r *Receiver) onRead() {
 		chunk = avail
 	}
 	prevWnd := r.Window()
-	r.readPtr += uint32(chunk)
+	r.readPtr += uint64(chunk)
 	if r.OnDeliver != nil && chunk > 0 {
 		r.OnDeliver(int(chunk))
 	}
@@ -371,25 +384,29 @@ func (r *Receiver) sendAck(dsack *span) {
 	w := r.Window()
 	seg := &Segment{
 		Flags: packet.FlagACK,
-		Ack:   r.rcvNxt,
+		Ack:   uint32(r.rcvNxt),
 		Wnd:   w,
 		TSVal: r.sm.Now(),
 		TSEcr: r.tsRecent,
 	}
 	if r.cfg.SACK {
 		if dsack != nil {
-			seg.SACK = append(seg.SACK, packet.SACKBlock{Left: dsack.l, Right: dsack.r})
+			seg.SACK = append(seg.SACK, packet.SACKBlock{Left: uint32(dsack.l), Right: uint32(dsack.r)})
 		}
 		max := packet.MaxSACKBlocks - len(seg.SACK)
 		for i, sp := range r.ooo {
 			if i >= max {
 				break
 			}
-			seg.SACK = append(seg.SACK, packet.SACKBlock{Left: sp.l, Right: sp.r})
+			seg.SACK = append(seg.SACK, packet.SACKBlock{Left: uint32(sp.l), Right: uint32(sp.r)})
 		}
 	}
 	if w == 0 {
 		r.stats.ZeroWindowAcks++
+	}
+	if r.truth != nil && (w == 0) != r.truthZero {
+		r.truthZero = w == 0
+		r.truth.ZeroWindow(r.sm.Now(), r.truthZero)
 	}
 	r.lastAdvertised = w
 	r.everAdvertised = true

@@ -36,9 +36,10 @@ func (d Dir) String() string {
 }
 
 // Segment is the unit exchanged between the endpoints. Sequence
-// numbers are absolute byte offsets in each direction's stream,
-// starting at 0 for the SYN (the SYN and FIN each consume one
-// sequence number, as in real TCP).
+// numbers are 32-bit wire values starting at each direction's ISN
+// (0 by default, random when ConnConfig.ISNRng is set) and wrap
+// modulo 2^32; the SYN and FIN each consume one sequence number, as
+// in real TCP.
 type Segment struct {
 	Flags packet.TCPFlags
 	// Seq is the first stream byte carried (sender's direction).

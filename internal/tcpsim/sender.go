@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"tcpstall/internal/packet"
+	"tcpstall/internal/seqspace"
 	"tcpstall/internal/sim"
 )
 
@@ -88,7 +89,7 @@ type SenderStats struct {
 // can only be recovered by the RTO — the mechanism behind the paper's
 // f-double stalls (Figure 9).
 type sndSeg struct {
-	seq        uint32
+	seq        uint64 // unwrapped stream offset; uint32(seq) is the wire value
 	len        int
 	acked      bool
 	sacked     bool
@@ -101,7 +102,7 @@ type sndSeg struct {
 	firstSent  sim.Time
 }
 
-func (g *sndSeg) end() uint32 { return g.seq + uint32(g.len) }
+func (g *sndSeg) end() uint64 { return g.seq + uint64(g.len) }
 
 // Sender is the server-side TCP data sender. The application feeds it
 // bytes with Write/Close; the connection wires Output to the downlink
@@ -118,7 +119,12 @@ type Sender struct {
 	// been cumulatively acknowledged and the stream is closed.
 	OnAllAcked func()
 
-	base   uint32 // stream offset of data byte 0 (1 after the SYN)
+	// base is the unwrapped offset of data byte 0 (wire value ISN+1).
+	// All scoreboard offsets are unwrapped uint64 so comparisons stay
+	// correct across 2^32 wraps; ackU maps incoming wire values into
+	// the same space.
+	base   uint64
+	ackU   seqspace.Unwrapper
 	segs   []sndSeg
 	unaIdx int   // index of first un-cumulatively-acked segment
 	nxtIdx int   // index of next never-sent segment
@@ -126,13 +132,13 @@ type Sender struct {
 	closed bool
 
 	rwnd        int // peer's advertised window, bytes
-	maxAckSeen  uint32
+	maxAckSeen  uint64
 	cwnd        float64
 	ssthresh    float64
 	state       CongState
 	dupacks     int
 	dupThresh   int
-	recoverSeq  uint32 // snd_nxt at recovery/loss entry
+	recoverSeq  uint64 // snd_nxt at recovery/loss entry (unwrapped)
 	prrOut      int    // ACKs seen in recovery (rate-halving counter)
 	targetCwnd  float64
 	maxReorder  int
@@ -160,6 +166,8 @@ type Sender struct {
 	recovery Recovery
 	cc       CongestionControl
 
+	truth TruthSink // optional ground-truth event sink
+
 	stats SenderStats
 }
 
@@ -177,7 +185,6 @@ func NewSender(s *sim.Simulator, cfg SenderConfig, startSeq uint32) *Sender {
 		sm:        s,
 		cfg:       cfg,
 		cc:        cc,
-		base:      startSeq,
 		rwnd:      cfg.MSS, // until the first ACK tells us better
 		cwnd:      float64(cfg.InitCwnd),
 		ssthresh:  1 << 30,
@@ -185,6 +192,9 @@ func NewSender(s *sim.Simulator, cfg SenderConfig, startSeq uint32) *Sender {
 		rto:       cfg.InitRTO,
 		recovery:  NativeRecovery{},
 	}
+	// Seeding the unwrapper at startSeq anchors base and every
+	// incoming ACK/SACK edge in the same unwrapped space.
+	snd.base = snd.ackU.Unwrap(startSeq)
 	snd.rtoTimer = sim.NewTimer(s, snd.onRTO)
 	snd.persistTimer = sim.NewTimer(s, snd.onPersist)
 	return snd
@@ -231,7 +241,7 @@ func (s *Sender) EnterRecoveryExternal() {
 	if s.state != StateRecovery {
 		s.beginEpisode()
 		s.state = StateRecovery
-		s.recoverSeq = s.sndNxt()
+		s.recoverSeq = s.sndNxt64()
 		// The strategy manages its own window reduction (Algorithm 1
 		// halves cwnd at most once); disable rate-halving for this
 		// episode by aiming it at the current window.
@@ -256,16 +266,20 @@ func (s *Sender) RTTSamples() int { return s.rttSamples }
 // RTO reports the current retransmission timeout.
 func (s *Sender) RTO() time.Duration { return s.rto }
 
-// SndUna reports the first unacknowledged stream byte.
-func (s *Sender) SndUna() uint32 {
+// SndUna reports the first unacknowledged stream byte as a wire
+// sequence number.
+func (s *Sender) SndUna() uint32 { return uint32(s.sndUna64()) }
+
+// sndUna64 is the first unacknowledged byte's unwrapped offset.
+func (s *Sender) sndUna64() uint64 {
 	if s.unaIdx < len(s.segs) {
 		return s.segs[s.unaIdx].seq
 	}
-	return s.sndNxt()
+	return s.sndNxt64()
 }
 
-// sndNxt is the next new stream byte to send.
-func (s *Sender) sndNxt() uint32 {
+// sndNxt64 is the next new stream byte's unwrapped offset.
+func (s *Sender) sndNxt64() uint64 {
 	if s.nxtIdx < len(s.segs) {
 		return s.segs[s.nxtIdx].seq
 	}
@@ -275,8 +289,8 @@ func (s *Sender) sndNxt() uint32 {
 	return s.base
 }
 
-// SndNxt reports the next new stream byte to send.
-func (s *Sender) SndNxt() uint32 { return s.sndNxt() }
+// SndNxt reports the next new stream byte as a wire sequence number.
+func (s *Sender) SndNxt() uint32 { return uint32(s.sndNxt64()) }
 
 // PacketsOut reports snd_nxt − snd_una in segments (the kernel's
 // packets_out).
@@ -419,10 +433,10 @@ func (s *Sender) usableWindowSegs() int {
 }
 
 // rwndAllows reports whether the peer window admits sending a segment
-// of length l at stream offset seq.
-func (s *Sender) rwndAllows(seq uint32, l int) bool {
-	una := s.SndUna()
-	return int(seq-una)+l <= s.rwnd
+// of length l at unwrapped stream offset seq.
+func (s *Sender) rwndAllows(seq uint64, l int) bool {
+	una := s.sndUna64()
+	return int64(seq-una)+int64(l) <= int64(s.rwnd)
 }
 
 // sendOne transmits the single next eligible segment —
@@ -555,12 +569,15 @@ func (s *Sender) transmit(i int, probe bool) {
 	s.stats.DataSegmentsSent++
 	seg := &Segment{
 		Flags: packet.FlagACK | packet.FlagPSH,
-		Seq:   g.seq,
+		Seq:   uint32(g.seq),
 		Len:   g.len,
 		TSVal: now,
 	}
 	if s.Output == nil {
 		panic("tcpsim: Sender.Output not set")
+	}
+	if isRetrans && s.truth != nil {
+		s.truth.RetransSent(now, seg.Seq)
 	}
 	s.Output(seg)
 	s.recovery.OnSent(isRetrans)
@@ -621,6 +638,9 @@ func (s *Sender) onRTO() {
 	if !s.HasOutstanding() {
 		return
 	}
+	if s.truth != nil {
+		s.truth.RTOFire(s.sm.Now())
+	}
 	s.stats.RTOFirings++
 	s.stats.EnteredLoss++
 	s.beginEpisode()
@@ -634,7 +654,7 @@ func (s *Sender) onRTO() {
 	s.state = StateLoss
 	s.dupacks = 0
 	s.prrOut = 0
-	s.recoverSeq = s.sndNxt()
+	s.recoverSeq = s.sndNxt64()
 	// Mark every outstanding non-SACKed segment lost, clearing the
 	// retransmission-outstanding hint so they are retransmitted anew
 	// (tcp_enter_loss semantics).
@@ -676,7 +696,7 @@ func (s *Sender) onPersist() {
 	// out-of-window segment (seq = snd_una − 1) that the receiver
 	// must answer with an ACK carrying the current window.
 	s.stats.ZeroWindowProbes++
-	seg := &Segment{Flags: packet.FlagACK, Seq: s.SndUna() - 1, Len: 0, TSVal: s.sm.Now()}
+	seg := &Segment{Flags: packet.FlagACK, Seq: uint32(s.sndUna64() - 1), Len: 0, TSVal: s.sm.Now()}
 	s.Output(seg)
 	if s.persistN < 10 {
 		s.persistN++
@@ -703,12 +723,12 @@ func (s *Sender) HandleAck(seg *Segment) {
 		s.maybeUndo()
 	}
 
-	ack := seg.Ack
+	ack := s.ackU.Unwrap(seg.Ack)
 	switch {
 	case ack > s.maxAckSeen:
 		s.maxAckSeen = ack
 		s.handleNewAck(ack, seg.TSEcr)
-	case s.isDupAck(seg, prevRwnd, sackedNew):
+	case s.isDupAck(seg, ack, prevRwnd, sackedNew):
 		s.handleDupAck(sackedNew)
 	}
 
@@ -725,11 +745,11 @@ func (s *Sender) HandleAck(seg *Segment) {
 // data, does not advance snd_una, does not change the window, and
 // arrives while data is outstanding. Both classic NewReno dupacks and
 // SACK-bearing ACKs qualify (the paper folds both into "dupack").
-func (s *Sender) isDupAck(seg *Segment, prevRwnd int, sackedNew bool) bool {
+func (s *Sender) isDupAck(seg *Segment, ack uint64, prevRwnd int, sackedNew bool) bool {
 	if !s.HasOutstanding() {
 		return false
 	}
-	if seg.Len != 0 || seg.Ack != s.maxAckSeen {
+	if seg.Len != 0 || ack != s.maxAckSeen {
 		return false
 	}
 	if seg.Wnd != prevRwnd && !sackedNew && len(seg.SACK) == 0 {
@@ -747,23 +767,28 @@ func (s *Sender) applySACK(seg *Segment) (dsack, sackedNew bool) {
 		return false, false
 	}
 	// DSACK: first block at or below the cumulative ACK, or
-	// contained in a later block (RFC 2883).
+	// contained in a later block (RFC 2883). Modular comparisons: the
+	// blocks sit within one window of the ACK by construction.
 	b0 := blocks[0]
-	if b0.Right <= seg.Ack {
+	if seqspace.LessEq(b0.Right, seg.Ack) {
 		dsack = true
-	} else if len(blocks) > 1 && b0.Left >= blocks[1].Left && b0.Right <= blocks[1].Right {
+	} else if len(blocks) > 1 && seqspace.LessEq(blocks[1].Left, b0.Left) &&
+		seqspace.LessEq(b0.Right, blocks[1].Right) {
 		dsack = true
 	}
 	for bi, b := range blocks {
 		if dsack && bi == 0 {
 			continue
 		}
+		// Unwrap the block edges into the scoreboard's offset space.
+		left := s.ackU.Unwrap(b.Left)
+		right := s.ackU.Unwrap(b.Right)
 		for i := s.unaIdx; i < s.nxtIdx; i++ {
 			g := &s.segs[i]
 			if g.acked || g.sacked {
 				continue
 			}
-			if g.seq >= b.Left && g.end() <= b.Right {
+			if g.seq >= left && g.end() <= right {
 				g.sacked = true
 				g.lost = false
 				g.retransOut = false
@@ -794,7 +819,7 @@ func (s *Sender) reorderExtent(i int) int {
 	return n
 }
 
-func (s *Sender) handleNewAck(ack uint32, tsecr sim.Time) {
+func (s *Sender) handleNewAck(ack uint64, tsecr sim.Time) {
 	// Advance the scoreboard.
 	newlyAcked := 0
 	coveredRetrans := false
@@ -954,7 +979,7 @@ func (s *Sender) enterRecovery() {
 	s.beginEpisode()
 	s.state = StateRecovery
 	s.stats.EnteredRecovery++
-	s.recoverSeq = s.sndNxt()
+	s.recoverSeq = s.sndNxt64()
 	fl := float64(s.InFlight())
 	if fl < 2 {
 		fl = 2

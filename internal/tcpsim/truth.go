@@ -1,0 +1,43 @@
+package tcpsim
+
+import "tcpstall/internal/sim"
+
+// AppWriteKind distinguishes why an application write was delayed —
+// the simulator-privileged fact behind the paper's two server-side
+// stall causes.
+type AppWriteKind int
+
+// Application write kinds.
+const (
+	// WriteAfterHeadDelay is the first response byte arriving after a
+	// back-end fetch (the "data unavailable" cause).
+	WriteAfterHeadDelay AppWriteKind = iota
+	// WriteAfterPause is a mid-response chunk arriving after a server
+	// resource stall (the "resource constraint" cause).
+	WriteAfterPause
+)
+
+// TruthSink observes privileged simulator-internal events that the
+// wire view cannot see directly: why the sender went silent and what
+// broke the silence. The ground-truth validator records them to grade
+// TAPO's wire-only classifications. All methods are called from the
+// simulator goroutine; implementations need no locking. Every hook is
+// optional — a nil sink disables recording at zero cost.
+type TruthSink interface {
+	// RTOFire fires when the retransmission timer expires with data
+	// outstanding, before the head segment is retransmitted.
+	RTOFire(t sim.Time)
+	// RetransSent fires for every retransmitted data segment put on
+	// the wire, with the segment's wire sequence number.
+	RetransSent(t sim.Time, wireSeq uint32)
+	// ZeroWindow fires when the receiver's advertised window
+	// transitions to zero (zero=true) or reopens (zero=false).
+	ZeroWindow(t sim.Time, zero bool)
+	// AppWrite fires when the server application hands delayed bytes
+	// to TCP (head delay or mid-response pause).
+	AppWrite(t sim.Time, kind AppWriteKind)
+	// RequestArrival fires when a client request reaches the server
+	// (including duplicate copies after client retransmission);
+	// outstanding reports whether response data was still unacked.
+	RequestArrival(t sim.Time, outstanding bool)
+}

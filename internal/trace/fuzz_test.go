@@ -35,6 +35,18 @@ func seedCapture(tb testing.TB) []byte {
 			rec(15, tcpsim.DirOut, packet.FlagSYN|packet.FlagACK, 0, 1, 0),
 			rec(25, tcpsim.DirOut, packet.FlagRST, 1, 1, 0),
 		}},
+		// Server ISN a few KB below 2^32 so the data stream wraps
+		// mid-flow: seeds the mutator with modular sequence arithmetic.
+		{ID: "c", Service: "seed", MSS: 1460, Records: []Record{
+			rec(0, tcpsim.DirIn, packet.FlagSYN, 0xCAFE0000, 0, 0),
+			rec(10, tcpsim.DirOut, packet.FlagSYN|packet.FlagACK, 0xFFFFF000, 0xCAFE0001, 0),
+			rec(20, tcpsim.DirIn, packet.FlagACK, 0xCAFE0001, 0xFFFFF001, 0),
+			rec(30, tcpsim.DirOut, packet.FlagACK, 0xFFFFF001, 0xCAFE0001, 1460),
+			rec(40, tcpsim.DirOut, packet.FlagACK, 0xFFFFF001+1460, 0xCAFE0001, 1460),
+			rec(50, tcpsim.DirOut, packet.FlagACK, 0xFFFFF001+2920, 0xCAFE0001, 1460), // crosses 2^32
+			rec(60, tcpsim.DirIn, packet.FlagACK, 0xCAFE0001, 285, 0),                 // 0xFFFFF001+4380 mod 2^32
+			rec(70, tcpsim.DirOut, packet.FlagFIN|packet.FlagACK, 285, 0xCAFE0001, 0),
+		}},
 	}
 	var buf bytes.Buffer
 	if err := ExportPcap(&buf, flows, ExportConfig{}); err != nil {

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 
+	"tcpstall/internal/seqspace"
 	"tcpstall/internal/sim"
 	"tcpstall/internal/tcpsim"
 )
@@ -53,21 +54,26 @@ func (f *Flow) Duration() sim.Duration {
 }
 
 // DataBytes sums outgoing payload bytes excluding retransmissions
-// (max contiguous stream coverage).
+// (max contiguous stream coverage). Sequence numbers are unwrapped
+// onto 64-bit offsets so random ISNs and >4 GiB flows measure
+// correctly.
 func (f *Flow) DataBytes() int64 {
-	var maxEnd uint32
-	var base uint32
+	var u seqspace.Unwrapper
+	var maxEnd uint64
+	var base uint64
 	first := true
 	for i := range f.Records {
 		r := &f.Records[i]
 		if r.Dir != tcpsim.DirOut || r.Seg.Len == 0 {
 			continue
 		}
+		off := u.Unwrap(r.Seg.Seq)
 		if first {
-			base = r.Seg.Seq
+			base = off
+			maxEnd = off
 			first = false
 		}
-		if end := r.Seg.Seq + uint32(r.Seg.Len); end > maxEnd {
+		if end := off + uint64(r.Seg.Len); end > maxEnd {
 			maxEnd = end
 		}
 	}

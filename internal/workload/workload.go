@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tcpstall/internal/groundtruth"
 	"tcpstall/internal/netem"
 	"tcpstall/internal/sim"
 	"tcpstall/internal/tcpsim"
@@ -321,6 +322,9 @@ func Services() []Service {
 type FlowResult struct {
 	Flow    *trace.Flow
 	Metrics *tcpsim.ConnMetrics
+	// Truth is the privileged event log for differential validation;
+	// nil unless GenOptions.WithTruth was set.
+	Truth *groundtruth.FlowTruth
 }
 
 // ShortFlowLimit is the paper's short/large flow boundary (200KB).
@@ -347,6 +351,10 @@ type GenOptions struct {
 	// Workers bounds the simulation pool; <= 0 means
 	// runtime.GOMAXPROCS(0), 1 forces a sequential run.
 	Workers int
+	// WithTruth records each flow's ground-truth events (RTO firings,
+	// retransmissions, zero-window episodes, app writes, request
+	// arrivals, netem drops) into FlowResult.Truth.
+	WithTruth bool
 }
 
 // Generate runs n independent connections of the service and returns
@@ -542,6 +550,18 @@ func genOne(svc Service, seed int64, idx int, opt GenOptions) FlowResult {
 	if opt.Deadline > 0 {
 		cfg.Deadline = opt.Deadline
 	}
+	// Random ISNs, as real stacks use. Forked LAST, after every other
+	// setup draw (the netem paths fork their own RNGs above), so the
+	// flow's dynamics are bit-identical to the ISN-0 era — only the
+	// wire sequence numbers are offset.
+	cfg.ISNRng = rng.Fork()
+	var rec *groundtruth.Recorder
+	if opt.WithTruth {
+		rec = groundtruth.NewRecorder(s)
+		cfg.Truth = rec
+		down.OnDrop = rec.Drop
+		up.OnDrop = rec.Drop
+	}
 	if opt.Mutate != nil {
 		opt.Mutate(&cfg)
 	}
@@ -571,6 +591,9 @@ func genOne(svc Service, seed int64, idx int, opt GenOptions) FlowResult {
 	}
 
 	res := FlowResult{Metrics: conn.Metrics()}
+	if rec != nil {
+		res.Truth = rec.Truth()
+	}
 	if col != nil {
 		col.Flow.Done = conn.Metrics().Done
 		col.Flow.Latency = conn.Metrics().FlowLatency()
