@@ -1,0 +1,179 @@
+// Command livebench measures the live monitoring pipeline and writes
+// the results as JSON (BENCH_live.json in CI). Three numbers matter:
+//
+//   - monitor throughput: records/sec through the sharded flow table
+//     via the blocking ingest path, worker goroutines running;
+//   - ingest latency: p50/p99 of a single IngestWait call under load;
+//   - batch vs incremental: records/sec through core.Analyze versus
+//     NewIncremental Feed/Flush over the same flows — the streaming
+//     analyzer's overhead relative to the batch path it reimplements.
+//
+// With -min-rate, the process exits non-zero when monitor throughput
+// lands below the floor — the CI smoke gate.
+//
+// Usage:
+//
+//	livebench [-quick] [-out BENCH_live.json] [-min-rate 100000]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"tcpstall/internal/core"
+	"tcpstall/internal/live"
+	"tcpstall/internal/stats"
+	"tcpstall/internal/trace"
+	"tcpstall/internal/workload"
+)
+
+type result struct {
+	Quick      bool `json:"quick"`
+	GoMaxProcs int  `json:"gomaxprocs"`
+	Flows      int  `json:"flows"`
+	Records    int  `json:"records"`
+
+	MonitorRecordsPerSec float64 `json:"monitor_records_per_sec"`
+	MonitorElapsedMS     float64 `json:"monitor_elapsed_ms"`
+	IngestP50Us          float64 `json:"ingest_p50_us"`
+	IngestP99Us          float64 `json:"ingest_p99_us"`
+
+	BatchRecordsPerSec       float64 `json:"batch_records_per_sec"`
+	IncrementalRecordsPerSec float64 `json:"incremental_records_per_sec"`
+	IncrementalOverhead      float64 `json:"incremental_overhead_ratio"`
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller dataset and fewer repetitions (CI smoke)")
+	out := flag.String("out", "", "write the JSON result to this file (default stdout only)")
+	minRate := flag.Float64("min-rate", 0, "exit non-zero when monitor records/sec is below this")
+	flag.Parse()
+
+	perSvc := 60
+	reps := 5
+	if *quick {
+		perSvc = 25
+		reps = 3
+	}
+
+	fmt.Fprintln(os.Stderr, "livebench: generating workload...")
+	var flows []*trace.Flow
+	for _, svc := range workload.Services() {
+		for _, fr := range workload.Generate(svc, 11, workload.GenOptions{Flows: perSvc}) {
+			if len(fr.Flow.Records) > 0 {
+				flows = append(flows, fr.Flow)
+			}
+		}
+	}
+	var events []trace.RecordEvent
+	for _, f := range flows {
+		for i := range f.Records {
+			events = append(events, trace.RecordEvent{
+				FlowID:   f.ID,
+				Service:  f.Service,
+				MSS:      f.MSS,
+				InitRwnd: f.InitRwnd,
+				Rec:      f.Records[i],
+			})
+		}
+	}
+	res := result{Quick: *quick, GoMaxProcs: runtime.GOMAXPROCS(0), Flows: len(flows), Records: len(events)}
+	fmt.Fprintf(os.Stderr, "livebench: %d flows, %d records\n", len(flows), len(events))
+
+	res.MonitorRecordsPerSec, res.MonitorElapsedMS, res.IngestP50Us, res.IngestP99Us = benchMonitor(events, reps)
+	res.BatchRecordsPerSec = benchBatch(flows, reps)
+	res.IncrementalRecordsPerSec = benchIncremental(flows, reps)
+	if res.IncrementalRecordsPerSec > 0 {
+		res.IncrementalOverhead = res.BatchRecordsPerSec / res.IncrementalRecordsPerSec
+	}
+
+	b, _ := json.MarshalIndent(&res, "", "  ")
+	fmt.Println(string(b))
+	if *out != "" {
+		if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "livebench:", err)
+			os.Exit(1)
+		}
+	}
+	if *minRate > 0 && res.MonitorRecordsPerSec < *minRate {
+		fmt.Fprintf(os.Stderr, "livebench: FAIL monitor %.0f records/sec < floor %.0f\n",
+			res.MonitorRecordsPerSec, *minRate)
+		os.Exit(1)
+	}
+}
+
+// benchMonitor pushes the event set through a running Monitor reps
+// times and reports the best run's throughput plus per-call ingest
+// latency quantiles sampled across all runs.
+func benchMonitor(events []trace.RecordEvent, reps int) (rate, elapsedMS, p50us, p99us float64) {
+	lat := stats.NewSample(len(events) * reps)
+	best := time.Duration(1 << 62)
+	for r := 0; r < reps; r++ {
+		m := live.New(live.Config{RingSize: 1 << 14})
+		m.Start()
+		// Sample every 64th call so timer overhead doesn't dominate
+		// the measured loop.
+		start := time.Now()
+		for i := range events {
+			if i%64 == 0 {
+				t0 := time.Now()
+				m.IngestWait(events[i])
+				lat.Add(float64(time.Since(t0)) / float64(time.Microsecond))
+			} else {
+				m.IngestWait(events[i])
+			}
+		}
+		feed := time.Since(start)
+		m.Close()
+		if feed < best {
+			best = feed
+		}
+	}
+	rate = float64(len(events)) / best.Seconds()
+	return rate, float64(best) / float64(time.Millisecond), lat.Quantile(0.50), lat.Quantile(0.99)
+}
+
+func benchBatch(flows []*trace.Flow, reps int) float64 {
+	var records int
+	for _, f := range flows {
+		records += len(f.Records)
+	}
+	best := time.Duration(1 << 62)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		for _, f := range flows {
+			core.Analyze(f, core.Config{})
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return float64(records*1) / best.Seconds()
+}
+
+func benchIncremental(flows []*trace.Flow, reps int) float64 {
+	var records int
+	for _, f := range flows {
+		records += len(f.Records)
+	}
+	best := time.Duration(1 << 62)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		for _, f := range flows {
+			inc := core.NewIncremental(core.Config{})
+			inc.SetMeta(core.FlowMeta{ID: f.ID, Service: f.Service, MSS: f.MSS, InitRwnd: f.InitRwnd})
+			for i := range f.Records {
+				inc.Feed(&f.Records[i])
+			}
+			inc.Flush()
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return float64(records) / best.Seconds()
+}

@@ -1,0 +1,211 @@
+// Command tapod is the online form of tapo: a daemon that watches a
+// live stream of server-side packet records, runs each flow through
+// the incremental TAPO analyzer as packets arrive, and serves the
+// results over HTTP — Prometheus metrics on /metrics, flow and stall
+// state on the JSON admin API.
+//
+// Two sources are built in:
+//
+//	tapod -pcap capture.pcap [-speed 10]   replay a capture, paced by
+//	                                       its own timestamps
+//	tapod -gen web-search [-flows 200]     synthesize live traffic from
+//	                                       a service model
+//
+// Memory is bounded end to end: the flow table caps active flows (LRU
+// eviction), every flow caps its analyzer records, and the per-shard
+// ingest rings cap queued packets; every drop is counted in /metrics.
+// SIGINT/SIGTERM drain the rings, flush every live flow, and print a
+// final summary before exiting.
+//
+// Usage:
+//
+//	tapod [-listen :9090] (-pcap file | -gen service) [options]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tcpstall/internal/core"
+	"tcpstall/internal/live"
+	"tcpstall/internal/trace"
+	"tcpstall/internal/workload"
+)
+
+func main() {
+	listen := flag.String("listen", ":9090", "HTTP listen address for /metrics and the admin API")
+	pcapPath := flag.String("pcap", "", "replay this capture file as the record source")
+	port := flag.Uint("port", 80, "server TCP port in the capture (identifies direction)")
+	speed := flag.Float64("speed", 0, "replay/generation pace: 1 = real time, 10 = 10x, 0 = unpaced")
+	gen := flag.String("gen", "", "synthesize live traffic from this service model (cloud-storage, software-download, web-search)")
+	flows := flag.Int("flows", 100, "with -gen: connections to run")
+	conc := flag.Int("concurrency", 16, "with -gen: simultaneous connections")
+	seed := flag.Int64("seed", 1, "with -gen: workload seed")
+	tau := flag.Float64("tau", 2, "stall threshold multiplier in min(tau*SRTT, RTO)")
+	shards := flag.Int("shards", 0, "flow-table shards (0: one per CPU)")
+	maxFlows := flag.Int("max-flows", 0, "active-flow cap across all shards (0: default 65536)")
+	maxRecs := flag.Int("max-records", 0, "per-flow analyzer record cap (0: default 100000, -1: unlimited)")
+	idle := flag.Duration("idle", 5*time.Minute, "evict flows idle this long")
+	window := flag.Duration("window", time.Minute, "rolling aggregation window")
+	ringSize := flag.Int("ring", 0, "per-shard ingest ring size (0: default 4096)")
+	shed := flag.Bool("shed", false, "drop records when rings fill instead of applying backpressure")
+	flag.Parse()
+
+	if (*pcapPath == "") == (*gen == "") {
+		fmt.Fprintln(os.Stderr, "tapod: exactly one of -pcap or -gen is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Tau = *tau
+	m := live.New(live.Config{
+		Shards:            *shards,
+		MaxFlows:          *maxFlows,
+		MaxRecordsPerFlow: *maxRecs,
+		IdleTimeout:       *idle,
+		Window:            *window,
+		RingSize:          *ringSize,
+		Analysis:          cfg,
+	})
+	m.Start()
+
+	srv := &http.Server{Addr: *listen, Handler: live.NewHandler(m)}
+	go func() {
+		fmt.Fprintf(os.Stderr, "tapod: serving /metrics on %s\n", *listen)
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "tapod:", err)
+			os.Exit(1)
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ingest := m.IngestWait
+	if *shed {
+		ingest = m.Ingest
+	}
+
+	var err error
+	switch {
+	case *pcapPath != "":
+		err = replayPcap(ctx, m, *pcapPath, uint16(*port), *speed, ingest)
+	default:
+		err = generate(ctx, *gen, *seed, workload.StreamOptions{
+			Flows:       *flows,
+			Concurrency: *conc,
+			Speed:       *speed,
+		}, ingest)
+	}
+	if err != nil && ctx.Err() == nil {
+		fmt.Fprintln(os.Stderr, "tapod:", err)
+	}
+
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "tapod: signal received, draining")
+	}
+	// Drain: flush every live flow, stop the HTTP plane, report.
+	m.Close()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Shutdown(shutdownCtx)
+	report(m)
+}
+
+// replayPcap streams a capture through the monitor, paced by the
+// capture's own timestamps when speed > 0.
+func replayPcap(ctx context.Context, m *live.Monitor, path string, port uint16, speed float64, ingest func(trace.RecordEvent) bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	wallStart := time.Now()
+	return trace.ImportPcapRecords(f, trace.ImportConfig{ServerPort: port}, func(ev trace.RecordEvent) error {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if speed > 0 {
+			target := wallStart.Add(time.Duration(float64(ev.Rec.T) / speed))
+			if d := time.Until(target); d > 0 {
+				select {
+				case <-time.After(d):
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
+		}
+		ingest(ev)
+		return nil
+	})
+}
+
+// generate runs a service model live into the monitor.
+func generate(ctx context.Context, name string, seed int64, opt workload.StreamOptions, ingest func(trace.RecordEvent) bool) error {
+	var svc workload.Service
+	found := false
+	for _, s := range workload.Services() {
+		if s.Name == name {
+			svc, found = s, true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown service %q (want cloud-storage, software-download or web-search)", name)
+	}
+	fmt.Fprintf(os.Stderr, "tapod: generating %d %s connections\n", opt.Flows, name)
+	n := workload.Stream(ctx, svc, seed, opt, func(ev trace.RecordEvent) { ingest(ev) })
+	fmt.Fprintf(os.Stderr, "tapod: source finished, %d records emitted\n", n)
+	return nil
+}
+
+// report prints the final snapshot as JSON on stdout.
+func report(m *live.Monitor) {
+	s := m.Snapshot()
+	stalls := map[string]map[string]uint64{}
+	for k, n := range s.StallCount {
+		svc := k.Service
+		if svc == "" {
+			svc = "(none)"
+		}
+		if stalls[svc] == nil {
+			stalls[svc] = map[string]uint64{}
+		}
+		stalls[svc][k.Cause.String()] = n
+	}
+	retrans := map[string]uint64{}
+	for c, n := range s.RetransCount {
+		retrans[c.String()] = n
+	}
+	out := map[string]any{
+		"uptime_s":         s.Uptime.Seconds(),
+		"records_ingested": s.Ingested,
+		"records_fed":      s.RecordsFed,
+		"ring_drops":       s.RingDrops,
+		"record_cap_drops": s.RecordsCapDrop,
+		"flows_seen":       s.FlowsSeen,
+		"flows_evicted":    s.FlowsEvicted,
+		"flows_truncated":  s.FlowsTruncated,
+		"stalls":           stalls,
+		"retransmission":   retrans,
+	}
+	if s.DurationsMS != nil && s.DurationsMS.N() > 0 {
+		out["stall_duration_ms"] = map[string]any{
+			"count": s.DurationsMS.N(),
+			"mean":  s.DurationsMS.Mean(),
+			"p50":   s.DurationsMS.Quantile(0.50),
+			"p99":   s.DurationsMS.Quantile(0.99),
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}

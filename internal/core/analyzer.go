@@ -69,6 +69,14 @@ func (g *aSeg) end() uint64 { return g.seq + uint64(g.len) }
 // pendingStall is a detected stall awaiting post-hoc classification.
 type pendingStall struct {
 	stall Stall
+	// endDir/endLen/endOff capture the stall-ending record (cur_pkt):
+	// its direction, payload length and — for outgoing data — the
+	// unwrapped stream offset at the moment the stall closed. Holding
+	// these here frees classification from the record slice, so the
+	// incremental analyzer never needs the flow history.
+	endDir tcpsim.Dir
+	endLen int
+	endOff uint64
 	// retransSegIdx / copiesBefore describe the stall-ending
 	// retransmission, when there is one.
 	retransSegIdx       int
@@ -81,13 +89,16 @@ type pendingStall struct {
 	outstandingAtStart   int
 	segsAboveOutstanding int
 	maxEndAtStall        uint64
+	// haveBaseAtEnd freezes whether any data had been seen once the
+	// stall-ending record was processed, so classification reads the
+	// same value at stall close and at flush.
+	haveBaseAtEnd bool
 }
 
 // analyzer replays one flow.
 type analyzer struct {
-	cfg  Config
-	flow *trace.Flow
-	mss  int
+	cfg Config
+	mss int
 
 	segs   []aSeg
 	segIdx map[uint64]int
@@ -130,36 +141,32 @@ type analyzer struct {
 	synackAt  sim.Time
 	rttSeeded bool
 
+	// firstT/lastT/nRecs replace the record slice: the state machine
+	// only ever looks one record back.
+	firstT sim.Time
+	lastT  sim.Time
+	nRecs  int
+
 	pending []pendingStall
 	out     FlowAnalysis
+
+	// onStall, when set, fires synchronously as each stall closes
+	// (before the closing record is processed). The incremental
+	// analyzer uses it to surface live stall events.
+	stallHook func(a *analyzer, ps *pendingStall)
 }
 
-// Analyze runs TAPO on one flow.
+// Analyze runs TAPO on one flow. It is the batch entry point and is
+// defined as "stream then flush": every record is fed through the
+// same incremental state machine the live monitor uses, so the two
+// paths cannot diverge.
 func Analyze(f *trace.Flow, cfg Config) *FlowAnalysis {
-	if cfg.Tau <= 0 {
-		cfg = DefaultConfig()
+	inc := NewIncremental(cfg)
+	inc.SetMeta(FlowMeta{ID: f.ID, Service: f.Service, MSS: f.MSS, InitRwnd: f.InitRwnd})
+	for i := range f.Records {
+		inc.Feed(&f.Records[i])
 	}
-	mss := f.MSS
-	if mss <= 0 {
-		mss = 1460
-	}
-	a := &analyzer{
-		cfg:       cfg,
-		flow:      f,
-		mss:       mss,
-		segIdx:    make(map[uint64]int),
-		dupThresh: cfg.DupThresh,
-		caState:   tcpsim.StateOpen,
-		cwnd:      float64(cfg.InitCwnd),
-		ssthresh:  1 << 30,
-		rto:       cfg.InitRTO,
-	}
-	a.out.FlowID = f.ID
-	a.out.Service = f.Service
-	a.out.InitRwnd = f.InitRwnd
-	a.replay()
-	a.finalize()
-	return &a.out
+	return inc.Flush()
 }
 
 // threshold is the stall boundary min(τ·SRTT, RTO).
@@ -174,25 +181,40 @@ func (a *analyzer) threshold() time.Duration {
 	return th
 }
 
-func (a *analyzer) replay() {
-	recs := a.flow.Records
-	for i := range recs {
-		r := &recs[i]
-		if i > 0 {
-			gap := r.T.Sub(recs[i-1].T)
-			if th := a.threshold(); gap > th {
-				a.onStall(i, recs[i-1].T, r)
-			}
+// feed advances the state machine by one record. It is the only way
+// records enter the analyzer — the batch replay and the live monitor
+// both call it, in record order.
+func (a *analyzer) feed(r *trace.Record) {
+	closed := false
+	if a.nRecs > 0 {
+		gap := r.T.Sub(a.lastT)
+		if th := a.threshold(); gap > th {
+			a.onStall(a.nRecs, a.lastT, r)
+			closed = true
 		}
-		switch r.Dir {
-		case tcpsim.DirOut:
-			a.processOut(r)
-		case tcpsim.DirIn:
-			a.processIn(r)
-		}
+	} else {
+		a.firstT = r.T
 	}
-	if len(recs) > 1 {
-		a.out.TransmissionTime = recs[len(recs)-1].T.Sub(recs[0].T)
+	switch r.Dir {
+	case tcpsim.DirOut:
+		a.processOut(r)
+	case tcpsim.DirIn:
+		a.processIn(r)
+	}
+	a.lastT = r.T
+	a.nRecs++
+	// Facts frozen after the closing record is processed: a stall
+	// ending at the flow's first data packet needs that record's own
+	// processing to anchor the first response boundary (isRespHead)
+	// and to settle haveBase. The live hook fires only now, so the
+	// provisional classification reads the same frozen facts as the
+	// final one.
+	if closed {
+		ps := &a.pending[len(a.pending)-1]
+		ps.haveBaseAtEnd = a.haveBase
+		if a.stallHook != nil {
+			a.stallHook(a, ps)
+		}
 	}
 }
 
@@ -213,6 +235,8 @@ func (a *analyzer) onStall(endIdx int, start sim.Time, cur *trace.Record) {
 			CwndEst:    int(a.cwnd),
 			Position:   -1,
 		},
+		endDir:             cur.Dir,
+		endLen:             cur.Seg.Len,
 		retransSegIdx:      -1,
 		sackedOutAtStart:   a.sackedOut(),
 		dupacksAtStart:     a.dupacks,
@@ -221,7 +245,8 @@ func (a *analyzer) onStall(endIdx int, start sim.Time, cur *trace.Record) {
 	}
 	// Is cur_pkt a retransmission of an already-sent segment?
 	if cur.Dir == tcpsim.DirOut && cur.Seg.Len > 0 {
-		if idx, ok := a.segIdx[a.u.Unwrap(cur.Seg.Seq)]; ok && a.segs[idx].sent >= 1 && !a.segs[idx].acked {
+		ps.endOff = a.u.Unwrap(cur.Seg.Seq)
+		if idx, ok := a.segIdx[ps.endOff]; ok && a.segs[idx].sent >= 1 && !a.segs[idx].acked {
 			g := &a.segs[idx]
 			ps.retransSegIdx = idx
 			ps.copiesBefore = g.sent

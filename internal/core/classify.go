@@ -4,7 +4,6 @@ import (
 	"sort"
 
 	"tcpstall/internal/tcpsim"
-	"tcpstall/internal/trace"
 )
 
 // finalize resolves response boundaries, classifies every pending
@@ -24,8 +23,7 @@ func (a *analyzer) finalize() {
 	for i := range a.pending {
 		ps := &a.pending[i]
 		st := &ps.stall
-		cur := &a.flow.Records[st.EndRecIdx]
-		st.Cause = a.topCause(ps, cur)
+		st.Cause = a.topCause(ps)
 		if st.Cause == CauseTimeoutRetrans {
 			st.RetransCause, st.DoubleKind, st.TailState = a.retransCause(ps)
 			st.Position = float64(a.segs[ps.retransSegIdx].ordinal) / float64(total)
@@ -63,22 +61,23 @@ func (a *analyzer) isRespHead(seq uint64) bool {
 	return seq == a.base
 }
 
-// topCause walks the Figure-5 tree for one stall.
-func (a *analyzer) topCause(ps *pendingStall, cur *trace.Record) Cause {
+// topCause walks the Figure-5 tree for one stall, reading the
+// stall-ending record from the facts captured when the stall closed.
+func (a *analyzer) topCause(ps *pendingStall) Cause {
 	// Receive-window branch: a closed window at stall start explains
 	// the silence regardless of what reopens it (window update or
 	// zero-window probe).
-	if ps.stall.Rwnd == 0 && a.haveBase {
+	if ps.stall.Rwnd == 0 && ps.haveBaseAtEnd {
 		return CauseZeroWindow
 	}
 
-	if cur.Dir == tcpsim.DirOut && cur.Seg.Len > 0 {
+	if ps.endDir == tcpsim.DirOut && ps.endLen > 0 {
 		if ps.retransSegIdx >= 0 {
 			return CauseTimeoutRetrans
 		}
 		// New data after silence: the transport was willing but had
 		// nothing to send — server-side cause, split by position.
-		if a.isRespHead(a.u.Unwrap(cur.Seg.Seq)) {
+		if a.isRespHead(ps.endOff) {
 			return CauseDataUnavailable
 		}
 		if ps.outstandingAtStart == 0 {
@@ -89,8 +88,8 @@ func (a *analyzer) topCause(ps *pendingStall, cur *trace.Record) Cause {
 		return CausePacketDelay
 	}
 
-	if cur.Dir == tcpsim.DirIn {
-		if cur.Seg.Len > 0 {
+	if ps.endDir == tcpsim.DirIn {
+		if ps.endLen > 0 {
 			// A client request ends the stall.
 			if ps.outstandingAtStart == 0 {
 				return CauseClientIdle

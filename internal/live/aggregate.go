@@ -1,0 +1,226 @@
+package live
+
+import (
+	"time"
+
+	"tcpstall/internal/core"
+	"tcpstall/internal/stats"
+)
+
+// CauseKey labels a stall counter by generating service and Figure-5
+// cause.
+type CauseKey struct {
+	Service string
+	Cause   core.Cause
+}
+
+// DurationBoundsMS is the stall-duration histogram layout: roughly
+// logarithmic from one delayed-ACK up to the paper's multi-minute RTO
+// backoff tail, in milliseconds.
+var DurationBoundsMS = []float64{
+	50, 100, 200, 400, 800, 1600, 3200, 6400, 12800, 25600, 51200, 102400,
+}
+
+// aggregates accumulates one shard's counters. All fields are owned
+// by the shard (guarded by its mutex); snapshot() copies them out.
+// Stall counters are fed live as stalls close (top-level causes are
+// final at close); the Table-5 retransmission breakdown is folded in
+// at eviction from each flow's settled analysis, since sub-causes can
+// be refined by post-hoc evidence.
+type aggregates struct {
+	flowsSeen      uint64
+	flowsEvicted   map[string]uint64 // by eviction reason
+	flowsTruncated uint64
+	recordsFed     uint64
+	recordsCapDrop uint64 // dropped by the per-flow record cap
+
+	stallCount   map[CauseKey]uint64
+	stallSeconds map[CauseKey]float64
+	durationsMS  *stats.Histogram
+
+	retransCount   map[core.RetransCause]uint64
+	retransSeconds map[core.RetransCause]float64
+
+	window *rollWindow
+}
+
+func newAggregates(window time.Duration, buckets int) *aggregates {
+	return &aggregates{
+		flowsEvicted:   map[string]uint64{},
+		stallCount:     map[CauseKey]uint64{},
+		stallSeconds:   map[CauseKey]float64{},
+		durationsMS:    stats.NewHistogram(DurationBoundsMS),
+		retransCount:   map[core.RetransCause]uint64{},
+		retransSeconds: map[core.RetransCause]float64{},
+		window:         newRollWindow(window, buckets),
+	}
+}
+
+// stallClosed folds one live stall event in.
+func (ag *aggregates) stallClosed(now time.Time, ls core.LiveStall) {
+	k := CauseKey{Service: ls.Service, Cause: ls.Stall.Cause}
+	ms := float64(ls.Stall.Duration) / float64(time.Millisecond)
+	ag.stallCount[k]++
+	ag.stallSeconds[k] += ls.Stall.Duration.Seconds()
+	ag.durationsMS.Add(ms)
+	b := ag.window.bucket(now)
+	b.count[k]++
+	b.secs[k] += ls.Stall.Duration.Seconds()
+	b.durs.Add(ms)
+}
+
+// flowEvicted folds a completed flow's settled analysis in.
+func (ag *aggregates) flowEvicted(reason string, a *core.FlowAnalysis, truncated bool) {
+	ag.flowsEvicted[reason]++
+	if truncated {
+		ag.flowsTruncated++
+	}
+	for _, st := range a.Stalls {
+		if st.Cause != core.CauseTimeoutRetrans {
+			continue
+		}
+		ag.retransCount[st.RetransCause]++
+		ag.retransSeconds[st.RetransCause] += st.Duration.Seconds()
+	}
+}
+
+// merge folds o into ag (for cross-shard snapshots). The rolling
+// windows merge bucket-by-epoch.
+func (ag *aggregates) merge(o *aggregates) {
+	ag.flowsSeen += o.flowsSeen
+	ag.flowsTruncated += o.flowsTruncated
+	ag.recordsFed += o.recordsFed
+	ag.recordsCapDrop += o.recordsCapDrop
+	for r, n := range o.flowsEvicted {
+		ag.flowsEvicted[r] += n
+	}
+	for k, n := range o.stallCount {
+		ag.stallCount[k] += n
+	}
+	for k, s := range o.stallSeconds {
+		ag.stallSeconds[k] += s
+	}
+	ag.durationsMS.Merge(o.durationsMS)
+	for c, n := range o.retransCount {
+		ag.retransCount[c] += n
+	}
+	for c, s := range o.retransSeconds {
+		ag.retransSeconds[c] += s
+	}
+}
+
+// clone deep-copies ag (called with the owning shard locked).
+func (ag *aggregates) clone() *aggregates {
+	c := newAggregates(ag.window.step*time.Duration(len(ag.window.buckets)), len(ag.window.buckets))
+	c.merge(ag)
+	for i := range ag.window.buckets {
+		src := &ag.window.buckets[i]
+		dst := &c.window.buckets[i]
+		dst.epoch = src.epoch
+		for k, n := range src.count {
+			dst.count[k] = n
+		}
+		for k, s := range src.secs {
+			dst.secs[k] = s
+		}
+		dst.durs.Merge(src.durs)
+	}
+	return c
+}
+
+// rollWindow is a ring of time buckets implementing the rolling
+// aggregation window: bucket i holds epoch e ≡ i (mod len), and a
+// bucket is reset the first time a newer epoch lands on it, so stale
+// counters age out without a sweeper.
+type rollWindow struct {
+	step    time.Duration
+	buckets []wbucket
+}
+
+type wbucket struct {
+	epoch int64 // step index since the Unix epoch; -1 = empty
+	count map[CauseKey]uint64
+	secs  map[CauseKey]float64
+	durs  *stats.Histogram
+}
+
+func newRollWindow(span time.Duration, buckets int) *rollWindow {
+	if buckets < 1 {
+		buckets = 1
+	}
+	step := span / time.Duration(buckets)
+	if step <= 0 {
+		step = time.Second
+	}
+	w := &rollWindow{step: step, buckets: make([]wbucket, buckets)}
+	for i := range w.buckets {
+		w.buckets[i] = wbucket{
+			epoch: -1,
+			count: map[CauseKey]uint64{},
+			secs:  map[CauseKey]float64{},
+			durs:  stats.NewHistogram(DurationBoundsMS),
+		}
+	}
+	return w
+}
+
+func (w *rollWindow) bucket(now time.Time) *wbucket {
+	epoch := now.UnixNano() / int64(w.step)
+	b := &w.buckets[int(epoch%int64(len(w.buckets)))]
+	if b.epoch != epoch {
+		b.epoch = epoch
+		for k := range b.count {
+			delete(b.count, k)
+		}
+		for k := range b.secs {
+			delete(b.secs, k)
+		}
+		b.durs.Reset()
+	}
+	return b
+}
+
+// WindowSnapshot is the rolling window summed over its live buckets.
+type WindowSnapshot struct {
+	Span         time.Duration
+	StallCount   map[CauseKey]uint64
+	StallSeconds map[CauseKey]float64
+	DurationsMS  *stats.Histogram
+}
+
+// snapshot sums the buckets still inside the window ending at now.
+func (w *rollWindow) snapshot(now time.Time) WindowSnapshot {
+	s := WindowSnapshot{
+		Span:         w.step * time.Duration(len(w.buckets)),
+		StallCount:   map[CauseKey]uint64{},
+		StallSeconds: map[CauseKey]float64{},
+		DurationsMS:  stats.NewHistogram(DurationBoundsMS),
+	}
+	epoch := now.UnixNano() / int64(w.step)
+	oldest := epoch - int64(len(w.buckets)) + 1
+	for i := range w.buckets {
+		b := &w.buckets[i]
+		if b.epoch < oldest || b.epoch > epoch {
+			continue
+		}
+		for k, n := range b.count {
+			s.StallCount[k] += n
+		}
+		for k, sec := range b.secs {
+			s.StallSeconds[k] += sec
+		}
+		s.DurationsMS.Merge(b.durs)
+	}
+	return s
+}
+
+// mergeWindow folds o's live buckets into s (cross-shard snapshot).
+func (s *WindowSnapshot) mergeWindow(o WindowSnapshot) {
+	for k, n := range o.StallCount {
+		s.StallCount[k] += n
+	}
+	for k, sec := range o.StallSeconds {
+		s.StallSeconds[k] += sec
+	}
+	s.DurationsMS.Merge(o.DurationsMS)
+}

@@ -1,0 +1,250 @@
+package live
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"tcpstall/internal/core"
+	"tcpstall/internal/stats"
+)
+
+// NewHandler exposes a Monitor's metrics and admin planes:
+//
+//	GET /metrics  Prometheus text exposition (see writeMetrics)
+//	GET /healthz  liveness — 200 "ok" while the monitor accepts records
+//	GET /flows    JSON list of active flows
+//	GET /stalls   JSON ring of the most recent closed stalls
+//	GET /config   JSON of the effective (defaulted) configuration
+func NewHandler(m *Monitor) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeMetrics(w, m.Snapshot())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if m.closed.Load() {
+			http.Error(w, "shutting down", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /flows", func(w http.ResponseWriter, r *http.Request) {
+		flows := m.Flows()
+		sort.Slice(flows, func(i, j int) bool { return flows[i].ID < flows[j].ID })
+		writeJSON(w, map[string]any{"active": len(flows), "flows": flows})
+	})
+	mux.HandleFunc("GET /stalls", func(w http.ResponseWriter, r *http.Request) {
+		stalls := m.RecentStalls()
+		out := make([]stallJSON, 0, len(stalls))
+		for _, ls := range stalls {
+			out = append(out, newStallJSON(ls))
+		}
+		writeJSON(w, map[string]any{"count": len(out), "stalls": out})
+	})
+	mux.HandleFunc("GET /config", func(w http.ResponseWriter, r *http.Request) {
+		cfg := m.Config()
+		writeJSON(w, map[string]any{
+			"shards":               cfg.Shards,
+			"max_flows":            cfg.MaxFlows,
+			"max_records_per_flow": cfg.MaxRecordsPerFlow,
+			"idle_timeout":         cfg.IdleTimeout.String(),
+			"ring_size":            cfg.RingSize,
+			"window":               cfg.Window.String(),
+			"window_buckets":       cfg.WindowBuckets,
+			"recent_stalls":        cfg.RecentStalls,
+			"analysis": map[string]any{
+				"tau":        cfg.Analysis.Tau,
+				"dup_thresh": cfg.Analysis.DupThresh,
+				"init_cwnd":  cfg.Analysis.InitCwnd,
+				"init_rto":   cfg.Analysis.InitRTO.String(),
+				"min_rto":    cfg.Analysis.MinRTO.String(),
+			},
+		})
+	})
+	return mux
+}
+
+// stallJSON flattens a LiveStall for the admin plane.
+type stallJSON struct {
+	FlowID       string  `json:"flow_id"`
+	Service      string  `json:"service,omitempty"`
+	Index        int     `json:"index"`
+	StartS       float64 `json:"start_s"`
+	EndS         float64 `json:"end_s"`
+	DurationMS   float64 `json:"duration_ms"`
+	Cause        string  `json:"cause"`
+	Category     string  `json:"category"`
+	RetransCause string  `json:"retrans_cause,omitempty"`
+}
+
+func newStallJSON(ls core.LiveStall) stallJSON {
+	sj := stallJSON{
+		FlowID:     ls.FlowID,
+		Service:    ls.Service,
+		Index:      ls.Index,
+		StartS:     ls.Stall.Start.Seconds(),
+		EndS:       ls.Stall.End.Seconds(),
+		DurationMS: float64(ls.Stall.Duration) / float64(time.Millisecond),
+		Cause:      ls.Stall.Cause.String(),
+		Category:   core.CategoryOf(ls.Stall.Cause).String(),
+	}
+	if ls.Stall.Cause == core.CauseTimeoutRetrans {
+		sj.RetransCause = ls.Stall.RetransCause.String()
+	}
+	return sj
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeMetrics renders a Snapshot in the Prometheus text exposition
+// format (version 0.0.4), hand-rolled so the monitor stays
+// dependency-free. Label sets are emitted in sorted order so scrapes
+// are deterministic and diffable.
+func writeMetrics(w io.Writer, s Snapshot) {
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+
+	p("# HELP tapod_uptime_seconds Time since the monitor started.\n")
+	p("# TYPE tapod_uptime_seconds gauge\n")
+	p("tapod_uptime_seconds %s\n", fnum(s.Uptime.Seconds()))
+
+	p("# HELP tapod_records_ingested_total Records accepted into shard rings.\n")
+	p("# TYPE tapod_records_ingested_total counter\n")
+	p("tapod_records_ingested_total %d\n", s.Ingested)
+
+	p("# HELP tapod_records_dropped_total Records discarded, by reason.\n")
+	p("# TYPE tapod_records_dropped_total counter\n")
+	p("tapod_records_dropped_total{reason=%q} %d\n", "ring_full", s.RingDrops)
+	p("tapod_records_dropped_total{reason=%q} %d\n", "flow_record_cap", s.RecordsCapDrop)
+
+	p("# HELP tapod_records_fed_total Records fed into per-flow analyzers.\n")
+	p("# TYPE tapod_records_fed_total counter\n")
+	p("tapod_records_fed_total %d\n", s.RecordsFed)
+
+	p("# HELP tapod_flows_active Flows currently tracked.\n")
+	p("# TYPE tapod_flows_active gauge\n")
+	p("tapod_flows_active %d\n", s.ActiveFlows)
+
+	p("# HELP tapod_flows_seen_total Flows ever admitted.\n")
+	p("# TYPE tapod_flows_seen_total counter\n")
+	p("tapod_flows_seen_total %d\n", s.FlowsSeen)
+
+	p("# HELP tapod_flows_evicted_total Flows evicted, by reason.\n")
+	p("# TYPE tapod_flows_evicted_total counter\n")
+	for _, r := range sortedKeys(s.FlowsEvicted) {
+		p("tapod_flows_evicted_total{reason=%q} %d\n", r, s.FlowsEvicted[r])
+	}
+
+	p("# HELP tapod_flows_truncated_total Flows that hit the per-flow record cap.\n")
+	p("# TYPE tapod_flows_truncated_total counter\n")
+	p("tapod_flows_truncated_total %d\n", s.FlowsTruncated)
+
+	p("# HELP tapod_stalls_total Closed stalls by service and Figure-5 cause.\n")
+	p("# TYPE tapod_stalls_total counter\n")
+	forEachCause(s.StallCount, func(k CauseKey) {
+		p("tapod_stalls_total{service=%q,cause=%q,category=%q} %d\n",
+			k.Service, k.Cause.String(), core.CategoryOf(k.Cause).String(), s.StallCount[k])
+	})
+
+	p("# HELP tapod_stall_seconds_total Total stalled seconds by service and cause.\n")
+	p("# TYPE tapod_stall_seconds_total counter\n")
+	forEachCause(s.StallSeconds, func(k CauseKey) {
+		p("tapod_stall_seconds_total{service=%q,cause=%q} %s\n",
+			k.Service, k.Cause.String(), fnum(s.StallSeconds[k]))
+	})
+
+	writeHistogram(p, "tapod_stall_duration_ms", "Closed stall durations in milliseconds.", s.DurationsMS)
+
+	p("# HELP tapod_retrans_stalls_total Retransmission stalls by Table-5 sub-cause (settled at eviction).\n")
+	p("# TYPE tapod_retrans_stalls_total counter\n")
+	for _, c := range sortedRetrans(s.RetransCount) {
+		p("tapod_retrans_stalls_total{subcause=%q} %d\n", c.String(), s.RetransCount[c])
+	}
+
+	p("# HELP tapod_retrans_stall_seconds_total Retransmission stall seconds by Table-5 sub-cause.\n")
+	p("# TYPE tapod_retrans_stall_seconds_total counter\n")
+	for _, c := range sortedRetrans(s.RetransSeconds) {
+		p("tapod_retrans_stall_seconds_total{subcause=%q} %s\n", c.String(), fnum(s.RetransSeconds[c]))
+	}
+
+	p("# HELP tapod_window_stalls Stalls closed inside the rolling window, by service and cause.\n")
+	p("# TYPE tapod_window_stalls gauge\n")
+	forEachCause(s.Window.StallCount, func(k CauseKey) {
+		p("tapod_window_stalls{service=%q,cause=%q} %d\n", k.Service, k.Cause.String(), s.Window.StallCount[k])
+	})
+
+	p("# HELP tapod_window_stall_seconds Stalled seconds inside the rolling window.\n")
+	p("# TYPE tapod_window_stall_seconds gauge\n")
+	forEachCause(s.Window.StallSeconds, func(k CauseKey) {
+		p("tapod_window_stall_seconds{service=%q,cause=%q} %s\n", k.Service, k.Cause.String(), fnum(s.Window.StallSeconds[k]))
+	})
+
+	p("# HELP tapod_window_span_seconds Width of the rolling window.\n")
+	p("# TYPE tapod_window_span_seconds gauge\n")
+	p("tapod_window_span_seconds %s\n", fnum(s.Window.Span.Seconds()))
+}
+
+// writeHistogram emits one Prometheus histogram family from a
+// stats.Histogram whose bounds are in milliseconds.
+func writeHistogram(p func(string, ...any), name, help string, h *stats.Histogram) {
+	p("# HELP %s %s\n", name, help)
+	p("# TYPE %s histogram\n", name)
+	if h == nil {
+		h = stats.NewHistogram(DurationBoundsMS)
+	}
+	bounds := h.Bounds()
+	for i, ub := range bounds {
+		p("%s_bucket{le=%q} %d\n", name, fnum(ub), h.Cumulative(i))
+	}
+	p("%s_bucket{le=\"+Inf\"} %d\n", name, h.N())
+	p("%s_sum %s\n", name, fnum(h.Sum()))
+	p("%s_count %d\n", name, h.N())
+}
+
+// fnum formats a float the way Prometheus clients do: shortest
+// round-trip representation.
+func fnum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedRetrans[V any](m map[core.RetransCause]V) []core.RetransCause {
+	keys := make([]core.RetransCause, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// forEachCause visits cause-keyed counters sorted by (service, cause).
+func forEachCause[V any](m map[CauseKey]V, fn func(CauseKey)) {
+	keys := make([]CauseKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Service != keys[j].Service {
+			return keys[i].Service < keys[j].Service
+		}
+		return keys[i].Cause < keys[j].Cause
+	})
+	for _, k := range keys {
+		fn(k)
+	}
+}

@@ -1,0 +1,107 @@
+package live
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"tcpstall/internal/sim"
+)
+
+func get(t *testing.T, h *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := h.Client().Get(h.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestHTTPPlane(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	m := New(Config{Shards: 1, Clock: clk.Now})
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+
+	// A flow with one large inter-packet gap: a guaranteed stall.
+	feedDirect(m, dataEvent("tapo-1", 0, 1000, 1460))
+	feedDirect(m, dataEvent("tapo-1", sim.Time(2*time.Second), 2460, 1460))
+
+	if code, body := get(t, srv, "/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+
+	code, body := get(t, srv, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		"tapod_flows_active 1",
+		"tapod_records_fed_total 2",
+		"tapod_records_dropped_total{reason=\"ring_full\"} 0",
+		// With no client SYN or ACKs the advertised window is unknown
+		// (0), so the classifier reads the gap as zero-rwnd.
+		"tapod_stalls_total{service=\"\",cause=\"zero-rwnd\",category=\"client\"} 1",
+		"tapod_stall_duration_ms_count 1",
+		"tapod_window_span_seconds 60",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, srv, "/flows")
+	if code != 200 {
+		t.Fatalf("/flows = %d", code)
+	}
+	var flows struct {
+		Active int        `json:"active"`
+		Flows  []FlowInfo `json:"flows"`
+	}
+	if err := json.Unmarshal([]byte(body), &flows); err != nil {
+		t.Fatalf("/flows JSON: %v\n%s", err, body)
+	}
+	if flows.Active != 1 || len(flows.Flows) != 1 || flows.Flows[0].ID != "tapo-1" {
+		t.Errorf("/flows = %+v", flows)
+	}
+	if flows.Flows[0].Records != 2 {
+		t.Errorf("flow records = %d, want 2", flows.Flows[0].Records)
+	}
+
+	code, body = get(t, srv, "/stalls")
+	if code != 200 {
+		t.Fatalf("/stalls = %d", code)
+	}
+	var stalls struct {
+		Count  int         `json:"count"`
+		Stalls []stallJSON `json:"stalls"`
+	}
+	if err := json.Unmarshal([]byte(body), &stalls); err != nil {
+		t.Fatalf("/stalls JSON: %v\n%s", err, body)
+	}
+	if stalls.Count != 1 || stalls.Stalls[0].FlowID != "tapo-1" {
+		t.Fatalf("/stalls = %+v", stalls)
+	}
+	if stalls.Stalls[0].Cause != "zero-rwnd" || stalls.Stalls[0].Category != "client" {
+		t.Errorf("stall classification = %+v", stalls.Stalls[0])
+	}
+
+	code, body = get(t, srv, "/config")
+	if code != 200 || !strings.Contains(body, "\"max_flows\": 65536") {
+		t.Errorf("/config = %d %q", code, body)
+	}
+
+	// Shutdown flips the health check.
+	m.Close()
+	if code, _ := get(t, srv, "/healthz"); code != 503 {
+		t.Errorf("/healthz after Close = %d, want 503", code)
+	}
+}

@@ -1,0 +1,543 @@
+// Package live turns TAPO into an always-on, bounded-memory server
+// monitor. A Monitor shards live flows over per-shard goroutines fed
+// by bounded ingest rings; each flow's records stream through the
+// same incremental analyzer (core.Incremental) the batch path uses,
+// so a flow evicted after teardown carries exactly the analysis
+// core.Analyze would have produced from its completed trace.
+//
+// Memory is hard-bounded: the flow table caps active flows (LRU
+// eviction), each flow caps retained analyzer records, and the ingest
+// rings cap queued events — every discard is counted, never silent.
+// Stalls surface the moment they close; per-service cause counters, a
+// rolling aggregation window, stall-duration histograms and the
+// Table-5 retransmission breakdown feed the /metrics and admin planes
+// (see NewHandler).
+package live
+
+import (
+	"container/list"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tcpstall/internal/core"
+	"tcpstall/internal/packet"
+	"tcpstall/internal/sim"
+	"tcpstall/internal/stats"
+	"tcpstall/internal/tcpsim"
+	"tcpstall/internal/trace"
+)
+
+// Eviction reasons, as they appear in metrics labels.
+const (
+	EvictDone     = "done"     // connection tore down (RST or FIN handshake)
+	EvictIdle     = "idle"     // no packet for Config.IdleTimeout
+	EvictLRU      = "lru"      // flow table full; least-recently-active flow displaced
+	EvictShutdown = "shutdown" // monitor closing
+)
+
+// Config tunes a Monitor. The zero value selects the documented
+// defaults.
+type Config struct {
+	// Shards is the number of flow-table shards, each owned by one
+	// goroutine (default: GOMAXPROCS).
+	Shards int
+	// MaxFlows caps active flows across all shards (default 65536).
+	// Admitting a flow to a full shard evicts its least-recently-active
+	// flow first (reason "lru").
+	MaxFlows int
+	// MaxRecordsPerFlow caps the records fed to any one flow's
+	// analyzer (default 100000; <0 disables). Beyond the cap the
+	// flow's later records are dropped and counted, and its analysis
+	// covers the retained prefix — one elephant flow cannot grow
+	// scoreboard memory without bound.
+	MaxRecordsPerFlow int
+	// IdleTimeout evicts flows with no packet for this long on the
+	// wall clock (default 5m; sweeps run on SweepEvery).
+	IdleTimeout time.Duration
+	// SweepEvery is the idle-sweep period (default IdleTimeout/4).
+	SweepEvery time.Duration
+	// RingSize is the per-shard ingest buffer in events (default
+	// 4096). Ingest drops (with accounting) when a ring is full;
+	// IngestWait blocks instead — that is the backpressure mode.
+	RingSize int
+	// Window/WindowBuckets shape the rolling aggregation window
+	// (default 60s over 12 buckets).
+	Window        time.Duration
+	WindowBuckets int
+	// RecentStalls bounds the admin plane's recent-stall ring
+	// (default 256).
+	RecentStalls int
+	// Analysis parameterizes the per-flow analyzer (zero value:
+	// core.DefaultConfig).
+	Analysis core.Config
+	// Clock supplies wall time (default time.Now; injectable for
+	// tests).
+	Clock func() time.Time
+	// OnFlow, when set, receives each evicted flow's settled
+	// analysis. Called from shard goroutines with the shard locked:
+	// it must be fast and must not call back into the Monitor.
+	OnFlow func(reason string, a *core.FlowAnalysis)
+	// OnStall, when set, receives each stall as it closes. Same
+	// constraints as OnFlow.
+	OnStall func(core.LiveStall)
+}
+
+func (c *Config) defaults() {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxFlows <= 0 {
+		c.MaxFlows = 65536
+	}
+	if c.MaxRecordsPerFlow == 0 {
+		c.MaxRecordsPerFlow = 100000
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 5 * time.Minute
+	}
+	if c.SweepEvery <= 0 {
+		c.SweepEvery = c.IdleTimeout / 4
+	}
+	if c.RingSize <= 0 {
+		c.RingSize = 4096
+	}
+	if c.Window <= 0 {
+		c.Window = time.Minute
+	}
+	if c.WindowBuckets <= 0 {
+		c.WindowBuckets = 12
+	}
+	if c.RecentStalls <= 0 {
+		c.RecentStalls = 256
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+}
+
+// Monitor is the live flow table. Create with New, Start, feed with
+// Ingest/IngestWait, and Close to drain.
+type Monitor struct {
+	cfg     Config
+	shards  []*shard
+	started atomic.Bool
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+	startAt time.Time
+
+	ingested  atomic.Uint64
+	ringDrops atomic.Uint64
+
+	recent stallRing
+}
+
+// New builds a Monitor (not yet running; call Start).
+func New(cfg Config) *Monitor {
+	cfg.defaults()
+	m := &Monitor{cfg: cfg}
+	m.recent.buf = make([]core.LiveStall, cfg.RecentStalls)
+	perShard := cfg.MaxFlows / cfg.Shards
+	if perShard < 1 {
+		perShard = 1
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		m.shards = append(m.shards, &shard{
+			m:        m,
+			in:       make(chan trace.RecordEvent, cfg.RingSize),
+			flows:    map[string]*flowEntry{},
+			maxFlows: perShard,
+			agg:      newAggregates(cfg.Window, cfg.WindowBuckets),
+		})
+	}
+	return m
+}
+
+// Config reports the (defaulted) configuration in effect.
+func (m *Monitor) Config() Config { return m.cfg }
+
+// Start launches the shard workers.
+func (m *Monitor) Start() {
+	if !m.started.CompareAndSwap(false, true) {
+		return
+	}
+	m.startAt = m.cfg.Clock()
+	for _, sh := range m.shards {
+		m.wg.Add(1)
+		go sh.run()
+	}
+}
+
+// shardOf maps a flow ID onto its shard (FNV-1a).
+func (m *Monitor) shardOf(id string) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return m.shards[h%uint32(len(m.shards))]
+}
+
+// Ingest offers one record without blocking. It reports false — and
+// counts the drop — when the target shard's ring is full or the
+// monitor is closed. This is the shed-load mode: the capture keeps
+// up, the monitor sees what it can.
+func (m *Monitor) Ingest(ev trace.RecordEvent) bool {
+	if m.closed.Load() {
+		m.ringDrops.Add(1)
+		return false
+	}
+	select {
+	case m.shardOf(ev.FlowID).in <- ev:
+		m.ingested.Add(1)
+		return true
+	default:
+		m.ringDrops.Add(1)
+		return false
+	}
+}
+
+// IngestWait blocks until the record is queued — backpressure mode
+// for replay sources that prefer slowing down to dropping. It reports
+// false only when the monitor is closed.
+func (m *Monitor) IngestWait(ev trace.RecordEvent) bool {
+	if m.closed.Load() {
+		m.ringDrops.Add(1)
+		return false
+	}
+	m.shardOf(ev.FlowID).in <- ev
+	m.ingested.Add(1)
+	return true
+}
+
+// Close stops intake, drains the rings, flushes every remaining flow
+// (reason "shutdown") and waits for the shard workers to exit.
+func (m *Monitor) Close() {
+	if !m.closed.CompareAndSwap(false, true) {
+		return
+	}
+	for _, sh := range m.shards {
+		close(sh.in)
+	}
+	if m.started.Load() {
+		m.wg.Wait()
+	}
+}
+
+// flowEntry is one live flow's state, owned by its shard.
+type flowEntry struct {
+	id        string
+	inc       *core.Incremental
+	meta      core.FlowMeta
+	el        *list.Element
+	lastSeen  time.Time
+	finOut    bool
+	finIn     bool
+	dropped   int
+	truncated bool
+}
+
+// shard owns one slice of the flow table. Its goroutine is the only
+// writer; Snapshot and the admin plane read under mu.
+type shard struct {
+	m        *Monitor
+	in       chan trace.RecordEvent
+	maxFlows int
+
+	mu    sync.Mutex
+	flows map[string]*flowEntry
+	lru   list.List // front = most recently active; values are *flowEntry
+	agg   *aggregates
+}
+
+func (sh *shard) run() {
+	defer sh.m.wg.Done()
+	sweep := time.NewTicker(sh.m.cfg.SweepEvery)
+	defer sweep.Stop()
+	for {
+		select {
+		case ev, ok := <-sh.in:
+			if !ok {
+				sh.drainAndShutdown()
+				return
+			}
+			sh.process(&ev)
+		case <-sweep.C:
+			sh.SweepIdle()
+		}
+	}
+}
+
+// drainAndShutdown empties the ring, then evicts everything.
+func (sh *shard) drainAndShutdown() {
+	for ev := range sh.in {
+		sh.process(&ev)
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for sh.lru.Len() > 0 {
+		sh.evictLocked(sh.lru.Back().Value.(*flowEntry), EvictShutdown)
+	}
+}
+
+// process feeds one event through its flow's analyzer, admitting,
+// truncating or evicting as the caps and teardown dictate.
+func (sh *shard) process(ev *trace.RecordEvent) {
+	now := sh.m.cfg.Clock()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+
+	e := sh.flows[ev.FlowID]
+	if e == nil {
+		// Admission: displace the least-recently-active flow when full.
+		for len(sh.flows) >= sh.maxFlows && sh.lru.Len() > 0 {
+			sh.evictLocked(sh.lru.Back().Value.(*flowEntry), EvictLRU)
+		}
+		e = &flowEntry{
+			id:  ev.FlowID,
+			inc: core.NewIncremental(sh.m.cfg.Analysis),
+			meta: core.FlowMeta{
+				ID:       ev.FlowID,
+				Service:  ev.Service,
+				MSS:      ev.MSS,
+				InitRwnd: ev.InitRwnd,
+			},
+		}
+		e.inc.SetMeta(e.meta)
+		e.inc.OnStall = sh.stallClosed
+		e.el = sh.lru.PushFront(e)
+		sh.flows[ev.FlowID] = e
+		sh.agg.flowsSeen++
+	} else {
+		sh.lru.MoveToFront(e.el)
+		// Late facts: the SYN's MSS, the client's initial window.
+		if (ev.MSS > 0 && ev.MSS != e.meta.MSS) || (ev.InitRwnd != 0 && e.meta.InitRwnd == 0) {
+			if ev.MSS > 0 {
+				e.meta.MSS = ev.MSS
+			}
+			if ev.InitRwnd != 0 && e.meta.InitRwnd == 0 {
+				e.meta.InitRwnd = ev.InitRwnd
+			}
+			e.inc.SetMeta(e.meta)
+		}
+	}
+	e.lastSeen = now
+
+	cap := sh.m.cfg.MaxRecordsPerFlow
+	if cap > 0 && e.inc.Records() >= cap {
+		// Elephant-flow guard: analysis covers the retained prefix.
+		e.truncated = true
+		e.dropped++
+		sh.agg.recordsCapDrop++
+	} else {
+		e.inc.Feed(&ev.Rec)
+		sh.agg.recordsFed++
+	}
+
+	if done := observeTeardown(e, ev); done || ev.FlowDone {
+		sh.evictLocked(e, EvictDone)
+	}
+}
+
+// observeTeardown mirrors the pcap demuxer's completion rule: RST
+// ends the connection outright; after FINs both ways, the next pure
+// ACK does.
+func observeTeardown(e *flowEntry, ev *trace.RecordEvent) bool {
+	seg := &ev.Rec.Seg
+	switch {
+	case seg.Flags.Has(packet.FlagRST):
+		return true
+	case seg.Flags.Has(packet.FlagFIN):
+		if ev.Rec.Dir == tcpsim.DirOut {
+			e.finOut = true
+		} else {
+			e.finIn = true
+		}
+	case e.finOut && e.finIn && seg.Len == 0 && !seg.Flags.Has(packet.FlagSYN):
+		return true
+	}
+	return false
+}
+
+// stallClosed runs synchronously inside Feed (shard locked).
+func (sh *shard) stallClosed(ls core.LiveStall) {
+	sh.agg.stallClosed(sh.m.cfg.Clock(), ls)
+	sh.m.recent.push(ls)
+	if sh.m.cfg.OnStall != nil {
+		sh.m.cfg.OnStall(ls)
+	}
+}
+
+// evictLocked flushes and removes one flow. Callers hold sh.mu.
+func (sh *shard) evictLocked(e *flowEntry, reason string) {
+	delete(sh.flows, e.id)
+	sh.lru.Remove(e.el)
+	a := e.inc.Flush()
+	sh.agg.flowEvicted(reason, a, e.truncated)
+	if sh.m.cfg.OnFlow != nil {
+		sh.m.cfg.OnFlow(reason, a)
+	}
+}
+
+// SweepIdle evicts flows idle past the configured timeout. The shard
+// workers call it periodically; tests may call it directly.
+func (sh *shard) SweepIdle() {
+	cutoff := sh.m.cfg.Clock().Add(-sh.m.cfg.IdleTimeout)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	// Walk from the LRU tail: the first fresh-enough flow ends the
+	// sweep, since recency is monotone along the list.
+	for sh.lru.Len() > 0 {
+		e := sh.lru.Back().Value.(*flowEntry)
+		if !e.lastSeen.Before(cutoff) {
+			return
+		}
+		sh.evictLocked(e, EvictIdle)
+	}
+}
+
+// SweepIdle runs an idle sweep across every shard (exposed for tests
+// and the admin plane).
+func (m *Monitor) SweepIdle() {
+	for _, sh := range m.shards {
+		sh.SweepIdle()
+	}
+}
+
+// stallRing keeps the most recent stall events for the admin plane.
+type stallRing struct {
+	mu   sync.Mutex
+	buf  []core.LiveStall
+	next int
+	n    int
+}
+
+func (r *stallRing) push(ls core.LiveStall) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) == 0 {
+		return
+	}
+	r.buf[r.next] = ls
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// list returns the retained stalls, oldest first.
+func (r *stallRing) list() []core.LiveStall {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]core.LiveStall, 0, r.n)
+	if len(r.buf) == 0 {
+		return out
+	}
+	start := (r.next - r.n + len(r.buf)) % len(r.buf)
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// RecentStalls returns the most recent closed stalls, oldest first.
+func (m *Monitor) RecentStalls() []core.LiveStall { return m.recent.list() }
+
+// Snapshot is a point-in-time view of the monitor's counters.
+type Snapshot struct {
+	Uptime      time.Duration
+	ActiveFlows int
+	Ingested    uint64
+	RingDrops   uint64
+
+	FlowsSeen      uint64
+	FlowsEvicted   map[string]uint64
+	FlowsTruncated uint64
+	RecordsFed     uint64
+	RecordsCapDrop uint64
+
+	StallCount     map[CauseKey]uint64
+	StallSeconds   map[CauseKey]float64
+	DurationsMS    *stats.Histogram
+	RetransCount   map[core.RetransCause]uint64
+	RetransSeconds map[core.RetransCause]float64
+
+	Window WindowSnapshot
+}
+
+// Snapshot merges every shard's counters under their locks.
+func (m *Monitor) Snapshot() Snapshot {
+	now := m.cfg.Clock()
+	total := newAggregates(m.cfg.Window, m.cfg.WindowBuckets)
+	win := WindowSnapshot{
+		Span:         m.cfg.Window,
+		StallCount:   map[CauseKey]uint64{},
+		StallSeconds: map[CauseKey]float64{},
+		DurationsMS:  stats.NewHistogram(DurationBoundsMS),
+	}
+	active := 0
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		total.merge(sh.agg)
+		win.mergeWindow(sh.agg.window.snapshot(now))
+		active += len(sh.flows)
+		sh.mu.Unlock()
+	}
+	s := Snapshot{
+		ActiveFlows:    active,
+		Ingested:       m.ingested.Load(),
+		RingDrops:      m.ringDrops.Load(),
+		FlowsSeen:      total.flowsSeen,
+		FlowsEvicted:   total.flowsEvicted,
+		FlowsTruncated: total.flowsTruncated,
+		RecordsFed:     total.recordsFed,
+		RecordsCapDrop: total.recordsCapDrop,
+		StallCount:     total.stallCount,
+		StallSeconds:   total.stallSeconds,
+		DurationsMS:    total.durationsMS,
+		RetransCount:   total.retransCount,
+		RetransSeconds: total.retransSeconds,
+		Window:         win,
+	}
+	if m.started.Load() {
+		s.Uptime = now.Sub(m.startAt)
+	}
+	return s
+}
+
+// FlowInfo is one active flow as the admin plane reports it.
+type FlowInfo struct {
+	ID        string    `json:"id"`
+	Service   string    `json:"service,omitempty"`
+	Records   int       `json:"records"`
+	DataBytes int64     `json:"data_bytes"`
+	Stalls    int       `json:"stalls"`
+	LastT     float64   `json:"last_record_s"`
+	LastSeen  time.Time `json:"last_seen"`
+	Truncated bool      `json:"truncated,omitempty"`
+}
+
+// Flows lists the active flows across all shards (unordered between
+// shards; insertion-recency order within one).
+func (m *Monitor) Flows() []FlowInfo {
+	var out []FlowInfo
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for el := sh.lru.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*flowEntry)
+			out = append(out, FlowInfo{
+				ID:        e.id,
+				Service:   e.meta.Service,
+				Records:   e.inc.Records(),
+				DataBytes: e.inc.DataBytesSoFar(),
+				Stalls:    e.inc.Stalls(),
+				LastT:     sim.Time(e.inc.LastT()).Seconds(),
+				LastSeen:  e.lastSeen,
+				Truncated: e.truncated,
+			})
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,343 @@
+package live
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"tcpstall/internal/core"
+	"tcpstall/internal/packet"
+	"tcpstall/internal/sim"
+	"tcpstall/internal/tcpsim"
+	"tcpstall/internal/trace"
+	"tcpstall/internal/workload"
+)
+
+// fakeClock is an injectable wall clock for deterministic sweeps.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+// events converts a generated flow into its ingest event sequence.
+func events(f *trace.Flow) []trace.RecordEvent {
+	out := make([]trace.RecordEvent, len(f.Records))
+	for i := range f.Records {
+		out[i] = trace.RecordEvent{
+			FlowID:   f.ID,
+			Service:  f.Service,
+			MSS:      f.MSS,
+			InitRwnd: f.InitRwnd,
+			Rec:      f.Records[i],
+		}
+	}
+	return out
+}
+
+// TestMonitorMatchesBatch is the subsystem's equivalence guarantee:
+// flows from every service model, their records interleaved
+// round-robin across flows and pushed through the concurrent shard
+// workers, must come out of eviction with FlowAnalysis JSON
+// byte-identical to the batch analyzer's. Run under -race this also
+// guards the shard locking.
+func TestMonitorMatchesBatch(t *testing.T) {
+	var flows []*trace.Flow
+	for _, svc := range workload.Services() {
+		for _, fr := range workload.Generate(svc, 7, workload.GenOptions{Flows: 8}) {
+			if len(fr.Flow.Records) > 0 {
+				flows = append(flows, fr.Flow)
+			}
+		}
+	}
+	if len(flows) < 20 {
+		t.Fatalf("generated only %d usable flows", len(flows))
+	}
+
+	var mu sync.Mutex
+	got := map[string][]byte{}
+	m := New(Config{
+		Shards:   4,
+		MaxFlows: 1024,
+		RingSize: 1 << 14,
+		OnFlow: func(reason string, a *core.FlowAnalysis) {
+			b, err := core.MarshalAnalyses([]*core.FlowAnalysis{a})
+			if err != nil {
+				t.Errorf("marshal %s: %v", a.FlowID, err)
+				return
+			}
+			mu.Lock()
+			got[a.FlowID] = b
+			mu.Unlock()
+		},
+	})
+	m.Start()
+
+	// Interleave: one record from each flow per round, so shard rings
+	// carry a realistic multi-flow mix.
+	evs := make([][]trace.RecordEvent, len(flows))
+	for i, f := range flows {
+		evs[i] = events(f)
+	}
+	for round := 0; ; round++ {
+		fed := false
+		for i := range evs {
+			if round < len(evs[i]) {
+				if !m.IngestWait(evs[i][round]) {
+					t.Fatal("IngestWait refused while open")
+				}
+				fed = true
+			}
+		}
+		if !fed {
+			break
+		}
+	}
+	m.Close()
+
+	for _, f := range flows {
+		want, err := core.MarshalAnalyses([]*core.FlowAnalysis{core.Analyze(f, core.Config{})})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, ok := got[f.ID]
+		if !ok {
+			t.Fatalf("flow %s never evicted", f.ID)
+		}
+		if !bytes.Equal(g, want) {
+			t.Errorf("flow %s: live analysis differs from batch\nlive:  %s\nbatch: %s", f.ID, g, want)
+		}
+	}
+
+	s := m.Snapshot()
+	if s.RingDrops != 0 {
+		t.Errorf("IngestWait path dropped %d records", s.RingDrops)
+	}
+	if int(s.FlowsSeen) != len(flows) {
+		t.Errorf("FlowsSeen = %d, want %d", s.FlowsSeen, len(flows))
+	}
+}
+
+// dataEvent builds a minimal outgoing data record event.
+func dataEvent(id string, at sim.Time, seq uint32, n int) trace.RecordEvent {
+	return trace.RecordEvent{
+		FlowID: id,
+		Rec: trace.Record{
+			T:   at,
+			Dir: tcpsim.DirOut,
+			Seg: tcpsim.Segment{Flags: packet.FlagACK, Seq: seq, Len: n, Wnd: 65535},
+		},
+	}
+}
+
+// feedDirect pushes an event through its shard synchronously (monitor
+// not started), keeping the test deterministic.
+func feedDirect(m *Monitor, ev trace.RecordEvent) {
+	m.shardOf(ev.FlowID).process(&ev)
+}
+
+func TestLRUEviction(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	var evicted []string
+	m := New(Config{
+		Shards:   1,
+		MaxFlows: 3,
+		Clock:    clk.Now,
+		OnFlow: func(reason string, a *core.FlowAnalysis) {
+			if reason == EvictLRU {
+				evicted = append(evicted, a.FlowID)
+			}
+		},
+	})
+	for i, id := range []string{"a", "b", "c"} {
+		feedDirect(m, dataEvent(id, sim.Time(i)*sim.Time(time.Millisecond), 1000, 1460))
+	}
+	// Touch "a" so "b" is now least recently active.
+	feedDirect(m, dataEvent("a", sim.Time(10*time.Millisecond), 2460, 1460))
+	feedDirect(m, dataEvent("d", sim.Time(11*time.Millisecond), 1000, 1460))
+
+	if len(evicted) != 1 || evicted[0] != "b" {
+		t.Fatalf("LRU evicted %v, want [b]", evicted)
+	}
+	s := m.Snapshot()
+	if s.ActiveFlows != 3 {
+		t.Errorf("ActiveFlows = %d, want 3", s.ActiveFlows)
+	}
+	if s.FlowsEvicted[EvictLRU] != 1 {
+		t.Errorf("lru evictions = %d, want 1", s.FlowsEvicted[EvictLRU])
+	}
+}
+
+func TestRecordCapTruncates(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	m := New(Config{Shards: 1, MaxRecordsPerFlow: 5, Clock: clk.Now})
+	for i := 0; i < 9; i++ {
+		feedDirect(m, dataEvent("f", sim.Time(i)*sim.Time(time.Millisecond), 1000+uint32(i)*1460, 1460))
+	}
+	s := m.Snapshot()
+	if s.RecordsFed != 5 {
+		t.Errorf("RecordsFed = %d, want 5", s.RecordsFed)
+	}
+	if s.RecordsCapDrop != 4 {
+		t.Errorf("RecordsCapDrop = %d, want 4", s.RecordsCapDrop)
+	}
+	for _, fi := range m.Flows() {
+		if !fi.Truncated {
+			t.Errorf("flow %s not marked truncated", fi.ID)
+		}
+		if fi.Records != 5 {
+			t.Errorf("flow %s retained %d records, want 5", fi.ID, fi.Records)
+		}
+	}
+	// Truncation is surfaced again at eviction.
+	m.SweepIdleNow(t)
+	if got := m.Snapshot().FlowsTruncated; got != 1 {
+		t.Errorf("FlowsTruncated = %d, want 1", got)
+	}
+}
+
+// SweepIdleNow forces every flow out via the idle path regardless of
+// configured timeout (test helper).
+func (m *Monitor) SweepIdleNow(t *testing.T) {
+	t.Helper()
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for sh.lru.Len() > 0 {
+			sh.evictLocked(sh.lru.Back().Value.(*flowEntry), EvictIdle)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+func TestIdleSweep(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	m := New(Config{Shards: 1, IdleTimeout: time.Minute, Clock: clk.Now})
+	feedDirect(m, dataEvent("old", 0, 1000, 1460))
+	clk.Advance(45 * time.Second)
+	feedDirect(m, dataEvent("fresh", sim.Time(time.Second), 1000, 1460))
+
+	m.SweepIdle()
+	if got := m.Snapshot().ActiveFlows; got != 2 {
+		t.Fatalf("premature idle eviction: ActiveFlows = %d, want 2", got)
+	}
+
+	clk.Advance(30 * time.Second) // "old" is 75s idle, "fresh" 30s
+	m.SweepIdle()
+	s := m.Snapshot()
+	if s.ActiveFlows != 1 {
+		t.Fatalf("ActiveFlows = %d, want 1", s.ActiveFlows)
+	}
+	if s.FlowsEvicted[EvictIdle] != 1 {
+		t.Errorf("idle evictions = %d, want 1", s.FlowsEvicted[EvictIdle])
+	}
+	if fl := m.Flows(); len(fl) != 1 || fl[0].ID != "fresh" {
+		t.Errorf("surviving flows = %+v, want [fresh]", fl)
+	}
+}
+
+func TestTeardownEvicts(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	reasons := map[string]string{}
+	m := New(Config{Shards: 1, Clock: clk.Now,
+		OnFlow: func(reason string, a *core.FlowAnalysis) { reasons[a.FlowID] = reason }})
+
+	// RST tears down immediately.
+	feedDirect(m, dataEvent("rst", 0, 1000, 1460))
+	rst := trace.RecordEvent{FlowID: "rst", Rec: trace.Record{
+		T: sim.Time(time.Millisecond), Dir: tcpsim.DirIn,
+		Seg: tcpsim.Segment{Flags: packet.FlagRST, Seq: 5000},
+	}}
+	feedDirect(m, rst)
+	if reasons["rst"] != EvictDone {
+		t.Fatalf("RST eviction reason = %q, want %q", reasons["rst"], EvictDone)
+	}
+
+	// FIN both ways, then the closing pure ACK.
+	finOut := trace.RecordEvent{FlowID: "fin", Rec: trace.Record{
+		T: 0, Dir: tcpsim.DirOut,
+		Seg: tcpsim.Segment{Flags: packet.FlagFIN | packet.FlagACK, Seq: 2000},
+	}}
+	finIn := trace.RecordEvent{FlowID: "fin", Rec: trace.Record{
+		T: sim.Time(time.Millisecond), Dir: tcpsim.DirIn,
+		Seg: tcpsim.Segment{Flags: packet.FlagFIN | packet.FlagACK, Seq: 9000},
+	}}
+	lastAck := trace.RecordEvent{FlowID: "fin", Rec: trace.Record{
+		T: sim.Time(2 * time.Millisecond), Dir: tcpsim.DirOut,
+		Seg: tcpsim.Segment{Flags: packet.FlagACK, Seq: 2001, Ack: 9001},
+	}}
+	feedDirect(m, finOut)
+	feedDirect(m, finIn)
+	if r, ok := reasons["fin"]; ok {
+		t.Fatalf("evicted before handshake completed (reason %q)", r)
+	}
+	feedDirect(m, lastAck)
+	if reasons["fin"] != EvictDone {
+		t.Fatalf("FIN eviction reason = %q, want %q", reasons["fin"], EvictDone)
+	}
+	if got := m.Snapshot().ActiveFlows; got != 0 {
+		t.Errorf("ActiveFlows = %d after teardown, want 0", got)
+	}
+}
+
+// TestRingFullDrops pins the shed-load contract: with the workers not
+// started, the ring fills deterministically and Ingest refuses —
+// counting, not blocking.
+func TestRingFullDrops(t *testing.T) {
+	m := New(Config{Shards: 1, RingSize: 2})
+	ok1 := m.Ingest(dataEvent("f", 0, 1000, 1460))
+	ok2 := m.Ingest(dataEvent("f", sim.Time(time.Millisecond), 2460, 1460))
+	ok3 := m.Ingest(dataEvent("f", sim.Time(2*time.Millisecond), 3920, 1460))
+	if !ok1 || !ok2 {
+		t.Fatal("ring rejected records below capacity")
+	}
+	if ok3 {
+		t.Fatal("ring accepted a record beyond capacity")
+	}
+	s := m.Snapshot()
+	if s.Ingested != 2 || s.RingDrops != 1 {
+		t.Errorf("Ingested/RingDrops = %d/%d, want 2/1", s.Ingested, s.RingDrops)
+	}
+	m.Start()
+	m.Close()
+	if !m.closed.Load() {
+		t.Error("monitor did not close")
+	}
+	if m.Ingest(dataEvent("f", sim.Time(3*time.Millisecond), 5380, 1460)) {
+		t.Error("Ingest accepted a record after Close")
+	}
+}
+
+func TestShutdownFlushesAll(t *testing.T) {
+	var mu sync.Mutex
+	reasons := map[string]string{}
+	m := New(Config{Shards: 2, OnFlow: func(reason string, a *core.FlowAnalysis) {
+		mu.Lock()
+		reasons[a.FlowID] = reason
+		mu.Unlock()
+	}})
+	m.Start()
+	for _, id := range []string{"x", "y", "z"} {
+		m.IngestWait(dataEvent(id, 0, 1000, 1460))
+	}
+	m.Close()
+	for _, id := range []string{"x", "y", "z"} {
+		if reasons[id] != EvictShutdown {
+			t.Errorf("flow %s eviction reason = %q, want %q", id, reasons[id], EvictShutdown)
+		}
+	}
+	if got := m.Snapshot().ActiveFlows; got != 0 {
+		t.Errorf("ActiveFlows after Close = %d, want 0", got)
+	}
+}

@@ -6,6 +6,14 @@
 // so the parallel pipeline is bit-identical to a sequential pass over
 // the same flows no matter how many workers run or how the scheduler
 // interleaves them.
+//
+// This batch pipeline and the online monitor (internal/live) are two
+// drivers of the same analysis: core.Analyze is implemented as
+// core.NewIncremental + Feed every record + Flush, so analyzing a
+// completed flow here produces byte-identical output to streaming the
+// same records through the live monitor and evicting the flow. Use
+// this package for offline captures, internal/live (cmd/tapod) for
+// traffic still in flight.
 package pipeline
 
 import (

@@ -195,6 +195,17 @@ func (s *Simulator) RunFor(d Duration) {
 	s.RunUntil(s.now.Add(d))
 }
 
+// NextAt reports the instant of the earliest pending event, if any.
+// Live drivers use it to pace virtual time against a wall clock: peek
+// the next instant, sleep the scaled difference, then Step.
+func (s *Simulator) NextAt() (Time, bool) {
+	ev := s.peek()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
+}
+
 func (s *Simulator) peek() *event {
 	for len(s.queue) > 0 {
 		ev := s.queue[0]

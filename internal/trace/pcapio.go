@@ -178,9 +178,8 @@ type flowKey struct {
 // flowState is a demux entry: the flow under assembly plus the
 // teardown tracking that lets the streaming importer emit it early.
 type flowState struct {
-	flow   *Flow
-	finOut bool
-	finIn  bool
+	flow *Flow
+	td   teardown
 }
 
 // demux reassembles per-connection flows from decoded frames. With
@@ -226,12 +225,23 @@ func (d *demux) flowID(k flowKey, ipv6 bool) string {
 	return id
 }
 
-// add folds one captured record in and returns a flow that just
-// completed, if any.
-func (d *demux) add(pkt pcap.Packet, raw bool) *Flow {
-	fr, ok := decodeFrame(pkt.Data, raw)
+// decodedRecord is one parsed TCP packet attributed to a connection.
+type decodedRecord struct {
+	key  flowKey
+	dir  tcpsim.Dir
+	seg  tcpsim.Segment
+	ipv6 bool
+	mss  int // from SYN options; 0 when absent
+}
+
+// decodeTCP parses one captured frame down to a keyed TCP record from
+// the server's vantage point. It is the shared front half of the
+// flow-assembling demux and the per-record streaming importer.
+func decodeTCP(data []byte, raw bool, serverPort uint16) (decodedRecord, bool) {
+	var dr decodedRecord
+	fr, ok := decodeFrame(data, raw)
 	if !ok {
-		return nil
+		return dr, false
 	}
 	var srcIP, dstIP [16]byte
 	if fr.IsIPv6 {
@@ -240,36 +250,17 @@ func (d *demux) add(pkt pcap.Packet, raw bool) *Flow {
 		copy(srcIP[:4], fr.IP4.Src[:])
 		copy(dstIP[:4], fr.IP4.Dst[:])
 	}
-	var dir tcpsim.Dir
-	var k flowKey
 	switch {
-	case fr.TCP.SrcPort == d.cfg.ServerPort:
-		dir = tcpsim.DirOut
-		k = flowKey{dstIP, fr.TCP.DstPort}
-	case fr.TCP.DstPort == d.cfg.ServerPort:
-		dir = tcpsim.DirIn
-		k = flowKey{srcIP, fr.TCP.SrcPort}
+	case fr.TCP.SrcPort == serverPort:
+		dr.dir = tcpsim.DirOut
+		dr.key = flowKey{dstIP, fr.TCP.DstPort}
+	case fr.TCP.DstPort == serverPort:
+		dr.dir = tcpsim.DirIn
+		dr.key = flowKey{srcIP, fr.TCP.SrcPort}
 	default:
-		return nil
+		return dr, false
 	}
-	if !d.haveBase {
-		d.base = pkt.Timestamp
-		d.haveBase = true
-	}
-	st, ok := d.flows[k]
-	if !ok {
-		st = &flowState{
-			flow: &Flow{
-				ID:      d.flowID(k, fr.IsIPv6),
-				Service: "pcap",
-				Done:    true,
-				MSS:     1460,
-			},
-		}
-		d.flows[k] = st
-		d.order = append(d.order, k)
-	}
-	f := st.flow
+	dr.ipv6 = fr.IsIPv6
 	// Payload length from the IP length fields (snaplen-proof).
 	var segLen int
 	if fr.IsIPv6 {
@@ -280,7 +271,7 @@ func (d *demux) add(pkt pcap.Packet, raw bool) *Flow {
 	if segLen < 0 {
 		segLen = len(fr.Payload)
 	}
-	seg := tcpsim.Segment{
+	dr.seg = tcpsim.Segment{
 		Flags: fr.TCP.Flags,
 		Seq:   fr.TCP.Seq,
 		Ack:   fr.TCP.Ack,
@@ -288,41 +279,85 @@ func (d *demux) add(pkt pcap.Packet, raw bool) *Flow {
 		Wnd:   int(fr.TCP.Window),
 	}
 	if fr.TCP.Options.HasTimestamps {
-		seg.TSVal = ticksToTime(fr.TCP.Options.TSVal)
-		seg.TSEcr = ticksToTime(fr.TCP.Options.TSEcr)
+		dr.seg.TSVal = ticksToTime(fr.TCP.Options.TSVal)
+		dr.seg.TSEcr = ticksToTime(fr.TCP.Options.TSEcr)
 	}
 	if len(fr.TCP.Options.SACK) > 0 {
-		seg.SACK = append(seg.SACK, fr.TCP.Options.SACK...)
+		dr.seg.SACK = append(dr.seg.SACK, fr.TCP.Options.SACK...)
 	}
 	if fr.TCP.Options.HasMSS && fr.TCP.Options.MSS > 0 {
-		f.MSS = int(fr.TCP.Options.MSS)
+		dr.mss = int(fr.TCP.Options.MSS)
 	}
-	if dir == tcpsim.DirIn && seg.Flags.Has(packet.FlagSYN) && f.InitRwnd == 0 {
-		f.InitRwnd = seg.Wnd
+	return dr, true
+}
+
+// teardown tracks connection-close progress and reports whether the
+// segment at hand completes the connection. An RST closes it
+// outright; after FINs in both directions, the next pure ACK (the
+// teardown's final acknowledgment) closes it. A FIN-only teardown
+// with no trailing ACK — the simulator's shape — never reports
+// completion and is handled at flush/EOF by the callers.
+type teardown struct {
+	finOut, finIn bool
+}
+
+func (td *teardown) observe(dir tcpsim.Dir, seg *tcpsim.Segment) (done bool) {
+	switch {
+	case seg.Flags.Has(packet.FlagRST):
+		return true
+	case seg.Flags.Has(packet.FlagFIN):
+		if dir == tcpsim.DirOut {
+			td.finOut = true
+		} else {
+			td.finIn = true
+		}
+	case td.finOut && td.finIn && seg.Len == 0 && !seg.Flags.Has(packet.FlagSYN):
+		return true
+	}
+	return false
+}
+
+// add folds one captured record in and returns a flow that just
+// completed, if any.
+func (d *demux) add(pkt pcap.Packet, raw bool) *Flow {
+	dr, ok := decodeTCP(pkt.Data, raw, d.cfg.ServerPort)
+	if !ok {
+		return nil
+	}
+	k := dr.key
+	if !d.haveBase {
+		d.base = pkt.Timestamp
+		d.haveBase = true
+	}
+	st, ok := d.flows[k]
+	if !ok {
+		st = &flowState{
+			flow: &Flow{
+				ID:      d.flowID(k, dr.ipv6),
+				Service: "pcap",
+				Done:    true,
+				MSS:     1460,
+			},
+		}
+		d.flows[k] = st
+		d.order = append(d.order, k)
+	}
+	f := st.flow
+	if dr.mss > 0 {
+		f.MSS = dr.mss
+	}
+	if dr.dir == tcpsim.DirIn && dr.seg.Flags.Has(packet.FlagSYN) && f.InitRwnd == 0 {
+		f.InitRwnd = dr.seg.Wnd
 	}
 	f.Records = append(f.Records, Record{
 		T:   sim.Time(pkt.Timestamp.Sub(d.base)),
-		Dir: dir,
-		Seg: seg,
+		Dir: dr.dir,
+		Seg: dr.seg,
 	})
 	if !d.emitEarly {
 		return nil
 	}
-	// Early completion: an RST closes the connection outright; after
-	// FINs in both directions, the next pure ACK (the teardown's final
-	// acknowledgment) closes it. A FIN-only teardown with no trailing
-	// ACK — the simulator's shape — completes at flush instead, so
-	// streamed flows stay identical to the batch importer's.
-	switch {
-	case seg.Flags.Has(packet.FlagRST):
-		return d.complete(k)
-	case seg.Flags.Has(packet.FlagFIN):
-		if dir == tcpsim.DirOut {
-			st.finOut = true
-		} else {
-			st.finIn = true
-		}
-	case st.finOut && st.finIn && seg.Len == 0 && !seg.Flags.Has(packet.FlagSYN):
+	if st.td.observe(dr.dir, &dr.seg) {
 		return d.complete(k)
 	}
 	return nil

@@ -43,6 +43,13 @@ type Flow struct {
 	Latency sim.Duration
 	// MSS for the flow (default 1460).
 	MSS int
+	// Truncated marks a flow whose collector hit its record cap:
+	// Records holds only the first MaxRecords packets and
+	// DroppedRecords counts the rest. Analyses of truncated flows
+	// cover the retained prefix only.
+	Truncated bool
+	// DroppedRecords counts records discarded by the collector cap.
+	DroppedRecords int
 }
 
 // Duration reports last-record time minus first-record time.
@@ -111,6 +118,12 @@ func (f *Flow) String() string {
 // Flow.
 type Collector struct {
 	Flow *Flow
+	// MaxRecords caps the flow's record slice (0 = unlimited). Once
+	// the cap is reached, later records are dropped and counted in
+	// Flow.DroppedRecords and the flow is marked Truncated — so a
+	// single elephant flow cannot grow memory without bound in live
+	// mode, and the truncation is explicit rather than silent.
+	MaxRecords int
 }
 
 // NewCollector builds a collector for a new flow.
@@ -120,6 +133,11 @@ func NewCollector(id, service string) *Collector {
 
 // Record implements tcpsim.TraceSink.
 func (c *Collector) Record(t sim.Time, dir tcpsim.Dir, seg tcpsim.Segment) {
+	if c.MaxRecords > 0 && len(c.Flow.Records) >= c.MaxRecords {
+		c.Flow.Truncated = true
+		c.Flow.DroppedRecords++
+		return
+	}
 	c.Flow.Records = append(c.Flow.Records, Record{T: t, Dir: dir, Seg: seg})
 	if dir == tcpsim.DirIn && seg.Flags.Has(synFlag) && c.Flow.InitRwnd == 0 {
 		c.Flow.InitRwnd = seg.Wnd

@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"tcpstall/internal/trace"
+)
+
+// TestStreamMatchesGenerate pins the live streamer to the batch
+// generator: same service, same seed, record-for-record identical
+// flows — only the delivery changes.
+func TestStreamMatchesGenerate(t *testing.T) {
+	svc := WebSearch()
+	const seed, n = 42, 6
+
+	var mu sync.Mutex
+	got := map[string][]trace.Record{}
+	emitted := Stream(context.Background(), svc, seed, StreamOptions{Flows: n}, func(ev trace.RecordEvent) {
+		mu.Lock()
+		got[ev.FlowID] = append(got[ev.FlowID], ev.Rec)
+		mu.Unlock()
+		if ev.Service != svc.Name {
+			t.Errorf("event service = %q, want %q", ev.Service, svc.Name)
+		}
+	})
+
+	want := Generate(svc, seed, GenOptions{Flows: n})
+	if len(got) != n {
+		t.Fatalf("streamed %d flows, want %d", len(got), n)
+	}
+	var total uint64
+	for _, fr := range want {
+		f := fr.Flow
+		recs, ok := got[f.ID]
+		if !ok {
+			t.Fatalf("flow %s missing from stream", f.ID)
+		}
+		total += uint64(len(recs))
+		if len(recs) != len(f.Records) {
+			t.Fatalf("flow %s: streamed %d records, generated %d", f.ID, len(recs), len(f.Records))
+		}
+		for i := range recs {
+			a, b := recs[i], f.Records[i]
+			if a.T != b.T || a.Dir != b.Dir || a.Seg.Seq != b.Seg.Seq ||
+				a.Seg.Ack != b.Seg.Ack || a.Seg.Len != b.Seg.Len ||
+				a.Seg.Flags != b.Seg.Flags || a.Seg.Wnd != b.Seg.Wnd ||
+				len(a.Seg.SACK) != len(b.Seg.SACK) {
+				t.Fatalf("flow %s record %d: stream %+v != generate %+v", f.ID, i, a, b)
+			}
+		}
+	}
+	if emitted != total {
+		t.Errorf("Stream reported %d records, flows hold %d", emitted, total)
+	}
+}
+
+// TestStreamCancel verifies a cancelled context stops the run early.
+func TestStreamCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	n := Stream(ctx, WebSearch(), 1, StreamOptions{Flows: 4}, func(trace.RecordEvent) {})
+	if n != 0 {
+		t.Errorf("cancelled stream emitted %d records", n)
+	}
+}

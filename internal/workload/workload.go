@@ -410,8 +410,21 @@ func Generate(svc Service, seed int64, opt GenOptions) []FlowResult {
 	return results
 }
 
-// genOne simulates one connection on its own simulator instance.
-func genOne(svc Service, seed int64, idx int, opt GenOptions) FlowResult {
+// builtConn is one fully-wired connection ready to run on its own
+// simulator instance.
+type builtConn struct {
+	s        *sim.Simulator
+	conn     *tcpsim.Conn
+	rec      *groundtruth.Recorder
+	deadline time.Duration
+}
+
+// buildConn wires one connection — path, receiver, application
+// exchange — from a service model and sub-seed. Extracted from genOne
+// so the batch generator and the live streamer (Stream) share one
+// construction path; the RNG draw order in here is frozen by the
+// golden traces.
+func buildConn(svc Service, seed int64, opt GenOptions, sink tcpsim.TraceSink) builtConn {
 	s := sim.New()
 	rng := sim.NewRNG(seed)
 
@@ -566,6 +579,19 @@ func genOne(svc Service, seed int64, idx int, opt GenOptions) FlowResult {
 		opt.Mutate(&cfg)
 	}
 
+	conn := tcpsim.NewLinkedConn(s, cfg, down, up, sink)
+	if opt.NewRecovery != nil {
+		conn.Sender().SetRecovery(opt.NewRecovery())
+	}
+	deadline := cfg.Deadline
+	if deadline <= 0 {
+		deadline = 300 * time.Second
+	}
+	return builtConn{s: s, conn: conn, rec: rec, deadline: deadline}
+}
+
+// genOne simulates one connection on its own simulator instance.
+func genOne(svc Service, seed int64, idx int, opt GenOptions) FlowResult {
 	var sink tcpsim.TraceSink
 	var col *trace.Collector
 	if !opt.SkipTraces {
@@ -573,26 +599,20 @@ func genOne(svc Service, seed int64, idx int, opt GenOptions) FlowResult {
 		col.Flow.MSS = svc.MSS
 		sink = col
 	}
-	conn := tcpsim.NewLinkedConn(s, cfg, down, up, sink)
-	if opt.NewRecovery != nil {
-		conn.Sender().SetRecovery(opt.NewRecovery())
-	}
+	bc := buildConn(svc, seed, opt, sink)
+	s, conn := bc.s, bc.conn
 	done := false
 	conn.OnDone = func(*tcpsim.ConnMetrics) { done = true }
 	conn.Start()
 	// Spike processes self-perpetuate, so step the clock in slices
 	// until the connection finishes (or hits its own deadline).
-	deadline := cfg.Deadline
-	if deadline <= 0 {
-		deadline = 300 * time.Second
-	}
-	for !done && s.Now() <= sim.Time(deadline) {
+	for !done && s.Now() <= sim.Time(bc.deadline) {
 		s.RunFor(time.Second)
 	}
 
 	res := FlowResult{Metrics: conn.Metrics()}
-	if rec != nil {
-		res.Truth = rec.Truth()
+	if bc.rec != nil {
+		res.Truth = bc.rec.Truth()
 	}
 	if col != nil {
 		col.Flow.Done = conn.Metrics().Done
