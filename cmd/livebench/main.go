@@ -1,30 +1,42 @@
 // Command livebench measures the live monitoring pipeline and writes
-// the results as JSON (BENCH_live.json in CI). Three numbers matter:
+// the results as JSON (BENCH_live.json in CI). Four numbers matter:
 //
 //   - monitor throughput: records/sec through the sharded flow table
 //     via the blocking ingest path, worker goroutines running;
 //   - ingest latency: p50/p99 of a single IngestWait call under load;
 //   - batch vs incremental: records/sec through core.Analyze versus
 //     NewIncremental Feed/Flush over the same flows — the streaming
-//     analyzer's overhead relative to the batch path it reimplements.
+//     analyzer's overhead relative to the batch path it reimplements;
+//   - flight overhead: the incremental analyzer with a flight
+//     recorder attached versus without — the price of evidence.
 //
-// With -min-rate, the process exits non-zero when monitor throughput
-// lands below the floor — the CI smoke gate.
+// Gates (each exits non-zero when violated):
+//
+//	-min-rate N          monitor throughput floor (CI smoke)
+//	-flight-min-rate N   recorder-enabled throughput floor
+//	-baseline FILE       compare against a previous BENCH_live.json:
+//	-max-regress F       fail when incremental (recorder disabled)
+//	                     throughput regressed more than F (e.g. 0.02)
+//	                     versus the baseline — the recorder's nil fast
+//	                     path must stay near-zero cost.
 //
 // Usage:
 //
 //	livebench [-quick] [-out BENCH_live.json] [-min-rate 100000]
+//	          [-flight-min-rate 100000] [-baseline BENCH_live.json -max-regress 0.02]
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
 	"time"
 
 	"tcpstall/internal/core"
+	"tcpstall/internal/flight"
 	"tcpstall/internal/live"
 	"tcpstall/internal/stats"
 	"tcpstall/internal/trace"
@@ -45,13 +57,24 @@ type result struct {
 	BatchRecordsPerSec       float64 `json:"batch_records_per_sec"`
 	IncrementalRecordsPerSec float64 `json:"incremental_records_per_sec"`
 	IncrementalOverhead      float64 `json:"incremental_overhead_ratio"`
+
+	// FlightRecordsPerSec drives the same incremental loop with a
+	// flight recorder attached; FlightOverhead is disabled/enabled —
+	// how much slower evidence capture makes the analyzer.
+	FlightRecordsPerSec float64 `json:"flight_records_per_sec"`
+	FlightOverhead      float64 `json:"flight_overhead_ratio"`
 }
 
 func main() {
 	quick := flag.Bool("quick", false, "smaller dataset and fewer repetitions (CI smoke)")
 	out := flag.String("out", "", "write the JSON result to this file (default stdout only)")
 	minRate := flag.Float64("min-rate", 0, "exit non-zero when monitor records/sec is below this")
+	flightMinRate := flag.Float64("flight-min-rate", 0, "exit non-zero when recorder-enabled records/sec is below this")
+	baseline := flag.String("baseline", "", "compare against this previous BENCH_live.json")
+	maxRegress := flag.Float64("max-regress", 0.02, "with -baseline: max allowed fractional regression of recorder-disabled incremental throughput")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	flag.Parse()
+	logger := newLogger(*logFormat)
 
 	perSvc := 60
 	reps := 5
@@ -60,7 +83,7 @@ func main() {
 		reps = 3
 	}
 
-	fmt.Fprintln(os.Stderr, "livebench: generating workload...")
+	logger.Info("generating workload", "flows_per_service", perSvc)
 	var flows []*trace.Flow
 	for _, svc := range workload.Services() {
 		for _, fr := range workload.Generate(svc, 11, workload.GenOptions{Flows: perSvc}) {
@@ -82,28 +105,91 @@ func main() {
 		}
 	}
 	res := result{Quick: *quick, GoMaxProcs: runtime.GOMAXPROCS(0), Flows: len(flows), Records: len(events)}
-	fmt.Fprintf(os.Stderr, "livebench: %d flows, %d records\n", len(flows), len(events))
+	logger.Info("workload ready", "flows", len(flows), "records", len(events))
 
 	res.MonitorRecordsPerSec, res.MonitorElapsedMS, res.IngestP50Us, res.IngestP99Us = benchMonitor(events, reps)
 	res.BatchRecordsPerSec = benchBatch(flows, reps)
-	res.IncrementalRecordsPerSec = benchIncremental(flows, reps)
+	res.IncrementalRecordsPerSec = benchIncremental(flows, reps, false)
+	res.FlightRecordsPerSec = benchIncremental(flows, reps, true)
 	if res.IncrementalRecordsPerSec > 0 {
 		res.IncrementalOverhead = res.BatchRecordsPerSec / res.IncrementalRecordsPerSec
+	}
+	if res.FlightRecordsPerSec > 0 {
+		res.FlightOverhead = res.IncrementalRecordsPerSec / res.FlightRecordsPerSec
 	}
 
 	b, _ := json.MarshalIndent(&res, "", "  ")
 	fmt.Println(string(b))
 	if *out != "" {
 		if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "livebench:", err)
+			logger.Error("write failed", "path", *out, "err", err)
 			os.Exit(1)
 		}
 	}
+
+	fail := false
 	if *minRate > 0 && res.MonitorRecordsPerSec < *minRate {
-		fmt.Fprintf(os.Stderr, "livebench: FAIL monitor %.0f records/sec < floor %.0f\n",
-			res.MonitorRecordsPerSec, *minRate)
+		logger.Error("FAIL monitor throughput below floor",
+			"records_per_sec", res.MonitorRecordsPerSec, "floor", *minRate)
+		fail = true
+	}
+	if *flightMinRate > 0 && res.FlightRecordsPerSec < *flightMinRate {
+		logger.Error("FAIL recorder-enabled throughput below floor",
+			"records_per_sec", res.FlightRecordsPerSec, "floor", *flightMinRate)
+		fail = true
+	}
+	if *baseline != "" && !checkBaseline(logger, *baseline, &res, *maxRegress) {
+		fail = true
+	}
+	if fail {
 		os.Exit(1)
 	}
+}
+
+// newLogger configures slog; "json" for log shippers, text otherwise.
+func newLogger(format string) *slog.Logger {
+	var h slog.Handler
+	if format == "json" {
+		h = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, nil)
+	}
+	l := slog.New(h)
+	slog.SetDefault(l)
+	return l
+}
+
+// checkBaseline enforces the recorder fast-path gate: with the
+// recorder disabled, the incremental analyzer must stay within
+// maxRegress of the baseline run's throughput.
+func checkBaseline(logger *slog.Logger, path string, res *result, maxRegress float64) bool {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		logger.Error("baseline unreadable", "path", path, "err", err)
+		return false
+	}
+	var base result
+	if err := json.Unmarshal(b, &base); err != nil {
+		logger.Error("baseline unparsable", "path", path, "err", err)
+		return false
+	}
+	if base.IncrementalRecordsPerSec <= 0 {
+		logger.Warn("baseline has no incremental rate; skipping regression gate", "path", path)
+		return true
+	}
+	floor := base.IncrementalRecordsPerSec * (1 - maxRegress)
+	if res.IncrementalRecordsPerSec < floor {
+		logger.Error("FAIL recorder-disabled incremental throughput regressed past the gate",
+			"records_per_sec", res.IncrementalRecordsPerSec,
+			"baseline", base.IncrementalRecordsPerSec,
+			"max_regress", maxRegress)
+		return false
+	}
+	logger.Info("baseline gate passed",
+		"records_per_sec", res.IncrementalRecordsPerSec,
+		"baseline", base.IncrementalRecordsPerSec,
+		"max_regress", maxRegress)
+	return true
 }
 
 // benchMonitor pushes the event set through a running Monitor reps
@@ -155,7 +241,10 @@ func benchBatch(flows []*trace.Flow, reps int) float64 {
 	return float64(records*1) / best.Seconds()
 }
 
-func benchIncremental(flows []*trace.Flow, reps int) float64 {
+// benchIncremental measures the streaming analyzer; withFlight
+// attaches a default-config flight recorder to every flow, which is
+// exactly what tapod -flight does per admitted flow.
+func benchIncremental(flows []*trace.Flow, reps int, withFlight bool) float64 {
 	var records int
 	for _, f := range flows {
 		records += len(f.Records)
@@ -166,6 +255,9 @@ func benchIncremental(flows []*trace.Flow, reps int) float64 {
 		for _, f := range flows {
 			inc := core.NewIncremental(core.Config{})
 			inc.SetMeta(core.FlowMeta{ID: f.ID, Service: f.Service, MSS: f.MSS, InitRwnd: f.InitRwnd})
+			if withFlight {
+				inc.SetRecorder(flight.NewRecorder(flight.Config{}))
+			}
 			for i := range f.Records {
 				inc.Feed(&f.Records[i])
 			}

@@ -12,6 +12,12 @@
 //
 //	tapo [-port N] [-workers N] [-v] capture.pcap
 //	tapo -demo              # run on a freshly synthesized trace
+//	tapo explain [-flow ID] [-stall N] [-trace-out f.jsonl] capture.pcap
+//
+// The explain subcommand re-analyzes with the flight recorder
+// attached and narrates each stall: the Figure-5/Table-5 decision
+// path with the concrete values that chose every branch, and the
+// packet window around the silent gap.
 package main
 
 import (
@@ -28,13 +34,19 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "explain" {
+		explainMain(os.Args[2:])
+		return
+	}
 	port := flag.Uint("port", 80, "server TCP port (identifies direction)")
 	workers := flag.Int("workers", 0, "analysis worker count (0: one per CPU)")
 	verbose := flag.Bool("v", false, "print every stall of every flow")
 	jsonOut := flag.Bool("json", false, "emit the full analysis as JSON on stdout")
 	demo := flag.Bool("demo", false, "analyze a synthetic web-search trace instead of a file")
 	tau := flag.Float64("tau", 2, "stall threshold multiplier in min(tau*SRTT, RTO)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	flag.Parse()
+	logger := newLogger(*logFormat)
 
 	cfg := core.DefaultConfig()
 	cfg.Tau = *tau
@@ -44,7 +56,7 @@ func main() {
 	var err error
 	switch {
 	case *demo:
-		fmt.Fprintln(os.Stderr, "synthesizing 80 web-search flows...")
+		logger.Info("synthesizing web-search flows", "flows", 80)
 		gen := workload.Generate(workload.WebSearch(), 42,
 			workload.GenOptions{Flows: 80, Workers: *workers})
 		res, err = pipeline.Run(pipeline.FromResults(gen), opt)

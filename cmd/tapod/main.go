@@ -17,6 +17,13 @@
 // SIGINT/SIGTERM drain the rings, flush every live flow, and print a
 // final summary before exiting.
 //
+// Self-observability: by default every flow carries a flight recorder
+// (disable with -flight=false), so /debug/flows/{id}/trace serves
+// per-stall evidence — the decision path and packet window behind each
+// verdict. -pprof mounts the Go profiler under /debug/pprof/, /metrics
+// includes the daemon's own runtime gauges, and all diagnostics go
+// through log/slog (-log-format text|json).
+//
 // Usage:
 //
 //	tapod [-listen :9090] (-pcap file | -gen service) [options]
@@ -27,13 +34,16 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"tcpstall/internal/core"
+	"tcpstall/internal/flight"
 	"tcpstall/internal/live"
 	"tcpstall/internal/trace"
 	"tcpstall/internal/workload"
@@ -56,7 +66,13 @@ func main() {
 	window := flag.Duration("window", time.Minute, "rolling aggregation window")
 	ringSize := flag.Int("ring", 0, "per-shard ingest ring size (0: default 4096)")
 	shed := flag.Bool("shed", false, "drop records when rings fill instead of applying backpressure")
+	flightOn := flag.Bool("flight", true, "attach a flight recorder to every flow (serves /debug/flows/{id}/trace)")
+	flightK := flag.Int("flight-k", 0, "flight packet-window radius around each stall gap (0: default)")
+	flightRing := flag.Int("flight-ring", 0, "flight event-ring size per flow (0: default)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiles under /debug/pprof/")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	flag.Parse()
+	logger := newLogger(*logFormat)
 
 	if (*pcapPath == "") == (*gen == "") {
 		fmt.Fprintln(os.Stderr, "tapod: exactly one of -pcap or -gen is required")
@@ -66,7 +82,7 @@ func main() {
 
 	cfg := core.DefaultConfig()
 	cfg.Tau = *tau
-	m := live.New(live.Config{
+	lcfg := live.Config{
 		Shards:            *shards,
 		MaxFlows:          *maxFlows,
 		MaxRecordsPerFlow: *maxRecs,
@@ -74,14 +90,37 @@ func main() {
 		Window:            *window,
 		RingSize:          *ringSize,
 		Analysis:          cfg,
-	})
+		OnFlow: func(reason string, a *core.FlowAnalysis) {
+			// LRU displacement means the flow table is too small for
+			// the offered load — the one eviction worth warning about.
+			if reason == live.EvictLRU {
+				logger.Warn("flow displaced by LRU pressure: raise -max-flows or lower -idle",
+					"flow", a.FlowID, "records", a.DataPackets, "stalls", len(a.Stalls))
+			}
+		},
+	}
+	if *flightOn {
+		lcfg.Flight = &flight.Config{WindowK: *flightK, RingSize: *flightRing}
+	}
+	m := live.New(lcfg)
 	m.Start()
 
-	srv := &http.Server{Addr: *listen, Handler: live.NewHandler(m)}
+	mux := http.NewServeMux()
+	mux.Handle("/", live.NewHandler(m))
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+	srv := &http.Server{Addr: *listen, Handler: mux}
 	go func() {
-		fmt.Fprintf(os.Stderr, "tapod: serving /metrics on %s\n", *listen)
+		logger.Info("serving metrics and admin API", "listen", *listen,
+			"flight", *flightOn, "pprof", *pprofOn)
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-			fmt.Fprintln(os.Stderr, "tapod:", err)
+			logger.Error("http server failed", "err", err)
 			os.Exit(1)
 		}
 	}()
@@ -93,6 +132,7 @@ func main() {
 	if *shed {
 		ingest = m.Ingest
 	}
+	go watchDrops(ctx, m, logger)
 
 	var err error
 	switch {
@@ -103,14 +143,14 @@ func main() {
 			Flows:       *flows,
 			Concurrency: *conc,
 			Speed:       *speed,
-		}, ingest)
+		}, ingest, logger)
 	}
 	if err != nil && ctx.Err() == nil {
-		fmt.Fprintln(os.Stderr, "tapod:", err)
+		logger.Error("record source failed", "err", err)
 	}
 
 	if ctx.Err() != nil {
-		fmt.Fprintln(os.Stderr, "tapod: signal received, draining")
+		logger.Info("signal received, draining")
 	}
 	// Drain: flush every live flow, stop the HTTP plane, report.
 	m.Close()
@@ -118,6 +158,46 @@ func main() {
 	defer cancel()
 	srv.Shutdown(shutdownCtx)
 	report(m)
+}
+
+// newLogger configures the process-wide slog logger; "json" selects
+// machine-readable output for log shippers, anything else human text.
+func newLogger(format string) *slog.Logger {
+	var h slog.Handler
+	if format == "json" {
+		h = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, nil)
+	}
+	l := slog.New(h)
+	slog.SetDefault(l)
+	return l
+}
+
+// watchDrops surfaces drop accounting as it happens rather than only
+// in the final report: any growth in shed records or record-cap
+// truncation in a 10s interval earns one warning.
+func watchDrops(ctx context.Context, m *live.Monitor, logger *slog.Logger) {
+	tick := time.NewTicker(10 * time.Second)
+	defer tick.Stop()
+	var lastRing, lastCap uint64
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			s := m.Snapshot()
+			if s.RingDrops > lastRing {
+				logger.Warn("ingest rings shedding records: source outpaces analysis",
+					"dropped", s.RingDrops-lastRing, "total", s.RingDrops)
+			}
+			if s.RecordsCapDrop > lastCap {
+				logger.Warn("per-flow record cap truncating flows: raise -max-records",
+					"dropped", s.RecordsCapDrop-lastCap, "flows_truncated", s.FlowsTruncated)
+			}
+			lastRing, lastCap = s.RingDrops, s.RecordsCapDrop
+		}
+	}
 }
 
 // replayPcap streams a capture through the monitor, paced by the
@@ -149,7 +229,7 @@ func replayPcap(ctx context.Context, m *live.Monitor, path string, port uint16, 
 }
 
 // generate runs a service model live into the monitor.
-func generate(ctx context.Context, name string, seed int64, opt workload.StreamOptions, ingest func(trace.RecordEvent) bool) error {
+func generate(ctx context.Context, name string, seed int64, opt workload.StreamOptions, ingest func(trace.RecordEvent) bool, logger *slog.Logger) error {
 	var svc workload.Service
 	found := false
 	for _, s := range workload.Services() {
@@ -161,9 +241,9 @@ func generate(ctx context.Context, name string, seed int64, opt workload.StreamO
 	if !found {
 		return fmt.Errorf("unknown service %q (want cloud-storage, software-download or web-search)", name)
 	}
-	fmt.Fprintf(os.Stderr, "tapod: generating %d %s connections\n", opt.Flows, name)
+	logger.Info("generating connections", "service", name, "flows", opt.Flows)
 	n := workload.Stream(ctx, svc, seed, opt, func(ev trace.RecordEvent) { ingest(ev) })
-	fmt.Fprintf(os.Stderr, "tapod: source finished, %d records emitted\n", n)
+	logger.Info("source finished", "records", n)
 	return nil
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"tcpstall/internal/flight"
 	"tcpstall/internal/packet"
 	"tcpstall/internal/seqspace"
 	"tcpstall/internal/sim"
@@ -147,6 +148,17 @@ type analyzer struct {
 	lastT  sim.Time
 	nRecs  int
 
+	// curT is the record timestamp currently being processed (event
+	// attribution); stallSeq issues flow-scoped monotonic stall IDs.
+	curT     sim.Time
+	stallSeq int
+
+	// rec, when non-nil, is the flight recorder receiving typed
+	// events, record windows and per-stall decision evidence. The
+	// nil case is the hot path: every emission site is one pointer
+	// test.
+	rec *flight.Recorder
+
 	pending []pendingStall
 	out     FlowAnalysis
 
@@ -169,6 +181,22 @@ func Analyze(f *trace.Flow, cfg Config) *FlowAnalysis {
 	return inc.Flush()
 }
 
+// AnalyzeFlight is Analyze with a flight recorder attached: the
+// returned recorder holds the per-stall evidence (decision paths,
+// record windows) and the flow's event ring. Apart from the extra
+// Stall.ID/Evidence references, the analysis itself is byte-identical
+// to Analyze's.
+func AnalyzeFlight(f *trace.Flow, cfg Config, fcfg flight.Config) (*FlowAnalysis, *flight.Recorder) {
+	inc := NewIncremental(cfg)
+	inc.SetMeta(FlowMeta{ID: f.ID, Service: f.Service, MSS: f.MSS, InitRwnd: f.InitRwnd})
+	rec := flight.NewRecorder(fcfg)
+	inc.SetRecorder(rec)
+	for i := range f.Records {
+		inc.Feed(&f.Records[i])
+	}
+	return inc.Flush(), rec
+}
+
 // threshold is the stall boundary min(τ·SRTT, RTO).
 func (a *analyzer) threshold() time.Duration {
 	if !a.hasRTT {
@@ -185,12 +213,23 @@ func (a *analyzer) threshold() time.Duration {
 // records enter the analyzer — the batch replay and the live monitor
 // both call it, in record order.
 func (a *analyzer) feed(r *trace.Record) {
+	a.curT = r.T
+	if a.rec != nil {
+		a.rec.Sample(a.nRecs, r)
+	}
 	closed := false
 	if a.nRecs > 0 {
 		gap := r.T.Sub(a.lastT)
 		if th := a.threshold(); gap > th {
 			a.onStall(a.nRecs, a.lastT, r)
 			closed = true
+			if a.rec != nil {
+				id := int64(a.pending[len(a.pending)-1].stall.ID)
+				a.rec.Emit(a.nRecs-1, a.lastT, flight.KindStallOpen, "gap exceeded min(tau*SRTT, RTO)",
+					int64(gap/time.Microsecond), int64(th/time.Microsecond), id)
+				a.rec.Emit(a.nRecs, r.T, flight.KindStallClose, "silence broken",
+					id, int64(gap/time.Microsecond), 0)
+			}
 		}
 	} else {
 		a.firstT = r.T
@@ -212,18 +251,62 @@ func (a *analyzer) feed(r *trace.Record) {
 	if closed {
 		ps := &a.pending[len(a.pending)-1]
 		ps.haveBaseAtEnd = a.haveBase
+		if a.rec != nil {
+			a.recordEvidence(ps)
+		}
 		if a.stallHook != nil {
 			a.stallHook(a, ps)
 		}
 	}
 }
 
+// emit forwards one typed event to the flight recorder; with no
+// recorder attached it is a single pointer test.
+func (a *analyzer) emit(k flight.Kind, name string, v1, v2, v3 int64) {
+	if a.rec == nil {
+		return
+	}
+	a.rec.Emit(a.nRecs, a.curT, k, name, v1, v2, v3)
+}
+
+// rel maps an unwrapped stream offset to a position relative to the
+// flow's first data byte — the coordinate evidence and events use.
+func (a *analyzer) rel(off uint64) int64 {
+	if !a.haveBase {
+		return 0
+	}
+	return int64(off - a.base)
+}
+
+// recordEvidence classifies one stall with a decision trail attached
+// and stores the provisional evidence as the stall closes; finalize
+// replaces the trail with the settled one once post-hoc facts (DSACK
+// horizon, final response bounds) are known.
+func (a *analyzer) recordEvidence(ps *pendingStall) {
+	tr := &flight.Trail{}
+	cause := a.topCause(ps, tr)
+	sub, dk := "", ""
+	if cause == CauseTimeoutRetrans {
+		rc, kind, _ := a.retransCause(ps, tr)
+		sub = rc.String()
+		if kind != DoubleNone {
+			dk = kind.String()
+		}
+	}
+	a.rec.StallClosed(flight.Ref{Flow: a.out.FlowID, Stall: ps.stall.ID},
+		ps.stall.EndRecIdx-1, ps.stall.EndRecIdx, ps.stall.Start, ps.stall.End,
+		cause.String(), sub, dk, tr)
+}
+
 // onStall captures a stall event; classification happens in
 // finalize, once post-hoc facts (response ends, DSACKs, totals) are
 // known. cur is the record ending the stall.
 func (a *analyzer) onStall(endIdx int, start sim.Time, cur *trace.Record) {
+	id := a.stallSeq
+	a.stallSeq++
 	ps := pendingStall{
 		stall: Stall{
+			ID:         id,
 			Start:      start,
 			End:        cur.T,
 			Duration:   cur.T.Sub(start),
@@ -253,6 +336,9 @@ func (a *analyzer) onStall(endIdx int, start sim.Time, cur *trace.Record) {
 			ps.firstRetransTimeout = g.firstRetransTimeout
 			ps.segsAboveOutstanding = a.segsAbove(g.seq)
 		}
+	}
+	if a.rec != nil {
+		ps.stall.Evidence = &flight.Ref{Flow: a.out.FlowID, Stall: id}
 	}
 	a.pending = append(a.pending, ps)
 }
@@ -345,6 +431,9 @@ func (a *analyzer) processOut(r *trace.Record) {
 	if off+uint64(seg.Len) > a.maxEnd {
 		a.maxEnd = off + uint64(seg.Len)
 	}
+	if !seen {
+		a.emit(flight.KindSeg, "data-sent", a.rel(off), int64(seg.Len), 1)
+	}
 	if g.sent > 1 {
 		// Retransmission.
 		a.out.RetransPackets++
@@ -352,9 +441,11 @@ func (a *analyzer) processOut(r *trace.Record) {
 		if g.sent == 2 {
 			g.firstRetransTimeout = isTimeout
 		}
+		a.emit(flight.KindSeg, "retransmit", a.rel(off), int64(seg.Len), int64(g.sent))
 		if isTimeout {
 			// Mimic tcp_enter_loss.
 			a.out.RTOSamplesMS = append(a.out.RTOSamplesMS, float64(a.rto)/1e6)
+			a.emit(flight.KindState, "enter-loss", int64(a.caState), int64(tcpsim.StateLoss), int64(a.rtoBackoff+1))
 			a.caState = tcpsim.StateLoss
 			a.recoverSeq = a.maxEnd
 			a.ssthresh = maxf(float64(a.inFlight())/2, 2)
@@ -365,6 +456,7 @@ func (a *analyzer) processOut(r *trace.Record) {
 			if a.rto > a.cfg.MaxRTO {
 				a.rto = a.cfg.MaxRTO
 			}
+			a.emit(flight.KindCwnd, "loss-reset", int64(a.cwnd), int64(a.ssthresh), int64(a.rto/time.Microsecond))
 		} else if a.caState != tcpsim.StateLoss && a.caState != tcpsim.StateRecovery {
 			// Fast retransmit observed: Recovery.
 			a.enterRecovery()
@@ -382,10 +474,12 @@ func (a *analyzer) wasStallEnding(t sim.Time) bool {
 }
 
 func (a *analyzer) enterRecovery() {
+	a.emit(flight.KindState, "enter-recovery", int64(a.caState), int64(tcpsim.StateRecovery), 0)
 	a.caState = tcpsim.StateRecovery
 	a.recoverSeq = a.maxEnd
 	a.ssthresh = maxf(float64(a.inFlight())/2, 2)
 	a.cwnd = a.ssthresh
+	a.emit(flight.KindCwnd, "recovery-halve", int64(a.cwnd), int64(a.ssthresh), int64(a.rto/time.Microsecond))
 }
 
 func (a *analyzer) processIn(r *trace.Record) {
@@ -413,6 +507,11 @@ func (a *analyzer) processIn(r *trace.Record) {
 	a.haveRwnd = true
 	if seg.Wnd == 0 {
 		a.out.ZeroRwndSeen = true
+		if prevRwnd != 0 {
+			a.emit(flight.KindState, "zero-window", int64(prevRwnd), 0, 0)
+		}
+	} else if prevRwnd == 0 && a.out.ZeroRwndSeen {
+		a.emit(flight.KindState, "window-reopen", 0, int64(seg.Wnd), 0)
 	}
 
 	if seg.Len > 0 {
@@ -451,11 +550,13 @@ func (a *analyzer) processIn(r *trace.Record) {
 					g.spuriousAt = append(g.spuriousAt, r.T)
 				}
 			}
+			a.emit(flight.KindSack, "dsack", a.rel(l0), int64(r0-l0), int64(a.dupacks))
 		}
 	}
 
 	// SACK marking.
 	sackedNew := false
+	sackedCount := 0
 	for bi, b := range seg.SACK {
 		if dsacked && bi == 0 {
 			continue
@@ -469,8 +570,12 @@ func (a *analyzer) processIn(r *trace.Record) {
 			if g.seq >= l && g.end() <= rr {
 				g.sacked = true
 				sackedNew = true
+				sackedCount++
 			}
 		}
+	}
+	if sackedCount > 0 {
+		a.emit(flight.KindSack, "sack-mark", int64(sackedCount), 0, int64(a.dupacks))
 	}
 
 	switch {
@@ -479,7 +584,9 @@ func (a *analyzer) processIn(r *trace.Record) {
 	case a.haveBase && hasAck && ack == a.sndUna && seg.Len == 0 &&
 		a.packetsOut() > 0 && (sackedNew || len(seg.SACK) > 0 || seg.Wnd == prevRwnd):
 		a.dupacks++
+		a.emit(flight.KindAck, "dupack", int64(a.dupacks), int64(a.dupThresh), 0)
 		if a.caState == tcpsim.StateOpen {
+			a.emit(flight.KindState, "enter-disorder", int64(tcpsim.StateOpen), int64(tcpsim.StateDisorder), 0)
 			a.caState = tcpsim.StateDisorder
 		}
 		if a.caState == tcpsim.StateDisorder && a.dupacks >= a.dupThresh {
@@ -532,10 +639,12 @@ func (a *analyzer) newAck(r *trace.Record, seg *tcpsim.Segment, ack uint64) {
 	switch a.caState {
 	case tcpsim.StateRecovery, tcpsim.StateLoss:
 		if ack >= a.recoverSeq {
+			a.emit(flight.KindState, "recovery-point-acked", int64(a.caState), int64(tcpsim.StateOpen), 0)
 			a.caState = tcpsim.StateOpen
 			a.cwnd = maxf(a.ssthresh, 2)
 		}
 	case tcpsim.StateDisorder:
+		a.emit(flight.KindState, "disorder-cleared", int64(tcpsim.StateDisorder), int64(tcpsim.StateOpen), 0)
 		a.caState = tcpsim.StateOpen
 	}
 	if a.caState == tcpsim.StateOpen {
@@ -547,6 +656,7 @@ func (a *analyzer) newAck(r *trace.Record, seg *tcpsim.Segment, ack uint64) {
 			}
 		}
 	}
+	a.emit(flight.KindAck, "ack-advance", a.rel(ack), int64(newlyAcked), int64(a.cwnd))
 }
 
 // rttSample applies RFC 6298.
@@ -579,6 +689,8 @@ func (a *analyzer) rttSample(rtt time.Duration) {
 		rto = a.cfg.MaxRTO
 	}
 	a.rto = rto
+	a.emit(flight.KindRTT, "rtt-sample",
+		int64(a.srtt/time.Microsecond), int64(a.rttvar/time.Microsecond), int64(a.rto/time.Microsecond))
 }
 
 func maxf(a, b float64) float64 {

@@ -34,6 +34,13 @@ type scenario struct {
 
 func (sc scenario) run(t *testing.T) *FlowAnalysis {
 	t.Helper()
+	return Analyze(sc.runFlow(t), DefaultConfig())
+}
+
+// runFlow runs the scenario and returns the raw server-side trace,
+// for tests that want to drive the analyzer themselves.
+func (sc scenario) runFlow(t *testing.T) *trace.Flow {
+	t.Helper()
 	s := sim.New()
 	rng := sim.NewRNG(sc.seed)
 	delay := 20 * time.Millisecond
@@ -82,7 +89,7 @@ func (sc scenario) run(t *testing.T) *FlowAnalysis {
 		t.Fatal("scenario did not complete")
 	}
 	col.Flow.Done = true
-	return Analyze(col.Flow, DefaultConfig())
+	return col.Flow
 }
 
 // stallsOf filters stalls by cause.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"tcpstall/internal/flight"
 	"tcpstall/internal/sim"
 	"tcpstall/internal/tcpsim"
 	"tcpstall/internal/trace"
@@ -76,9 +77,9 @@ func NewIncremental(cfg Config) *Incremental {
 			return
 		}
 		st := ps.stall
-		st.Cause = a.topCause(ps)
+		st.Cause = a.topCause(ps, nil)
 		if st.Cause == CauseTimeoutRetrans {
-			st.RetransCause, st.DoubleKind, st.TailState = a.retransCause(ps)
+			st.RetransCause, st.DoubleKind, st.TailState = a.retransCause(ps, nil)
 			total := a.out.DataPackets
 			if total < 1 {
 				total = 1
@@ -89,11 +90,19 @@ func NewIncremental(cfg Config) *Incremental {
 			FlowID:  inc.meta.ID,
 			Service: inc.meta.Service,
 			Stall:   st,
-			Index:   len(a.pending) - 1,
+			Index:   st.ID,
 		})
 	}
 	return inc
 }
+
+// SetRecorder attaches a flight recorder. A nil recorder (the
+// default) keeps the analyzer on its zero-overhead path. Attach
+// before the first Feed so the event stream covers the whole flow.
+func (inc *Incremental) SetRecorder(rec *flight.Recorder) { inc.a.rec = rec }
+
+// Recorder reports the attached flight recorder (nil when disabled).
+func (inc *Incremental) Recorder() *flight.Recorder { return inc.a.rec }
 
 // SetMeta attaches the flow identity. The live monitor calls it again
 // as facts arrive mid-flow (the SYN's MSS, the client window), so a

@@ -8,6 +8,7 @@ import (
 
 // JSONStall is the machine-readable stall record.
 type JSONStall struct {
+	ID         int     `json:"id"`
 	StartMS    float64 `json:"start_ms"`
 	DurationMS float64 `json:"duration_ms"`
 	Cause      string  `json:"cause"`
@@ -52,6 +53,7 @@ func (a *FlowAnalysis) ToJSON() JSONFlow {
 	}
 	for _, st := range a.Stalls {
 		js := JSONStall{
+			ID:         st.ID,
 			StartMS:    st.Start.Milliseconds(),
 			DurationMS: float64(st.Duration) / float64(time.Millisecond),
 			Cause:      st.Cause.String(),

@@ -11,6 +11,7 @@ package core
 import (
 	"time"
 
+	"tcpstall/internal/flight"
 	"tcpstall/internal/sim"
 	"tcpstall/internal/tcpsim"
 )
@@ -136,12 +137,21 @@ func (k DoubleKind) String() string {
 
 // Stall is one detected-and-classified stall event.
 type Stall struct {
+	// ID is the stall's flow-scoped monotonic identifier (0-based, in
+	// detection order). Live stall events, the admin planes,
+	// groundtruth grading and flight-recorder evidence all key on it.
+	ID int
 	// Start/End bound the silent gap; Duration = End − Start.
 	Start    sim.Time
 	End      sim.Time
 	Duration time.Duration
 	// EndRecIdx indexes the record ending the stall (cur_pkt).
 	EndRecIdx int
+
+	// Evidence, when a flight recorder was attached, names the
+	// recorder entry holding this stall's decision path and record
+	// window; nil in disabled mode.
+	Evidence *flight.Ref
 
 	Cause        Cause
 	RetransCause RetransCause

@@ -1,0 +1,86 @@
+package explain
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+
+	"tcpstall/internal/core"
+	"tcpstall/internal/flight"
+	"tcpstall/internal/trace"
+)
+
+// PktLine is one tcptrace-style time/sequence sample: a single
+// captured record, tagged so plotting tools can split directions and
+// overlay stall spans.
+type PktLine struct {
+	Type string  `json:"type"` // "pkt"
+	Flow string  `json:"flow"`
+	Idx  int     `json:"idx"`
+	TS   float64 `json:"t_s"`
+	Dir  string  `json:"dir"`
+	Seq  uint32  `json:"seq"`
+	Ack  uint32  `json:"ack"`
+	Len  int     `json:"len"`
+	Wnd  int     `json:"rwnd"`
+	Flag string  `json:"flags"`
+	Sack int     `json:"sack_blocks,omitempty"`
+}
+
+// StallLine marks one classified stall span, carrying the evidence
+// (decision path + window) inline when the recorder held it.
+type StallLine struct {
+	Type     string               `json:"type"` // "stall"
+	Flow     string               `json:"flow"`
+	ID       int                  `json:"id"`
+	StartS   float64              `json:"start_s"`
+	EndS     float64              `json:"end_s"`
+	Cause    string               `json:"cause"`
+	SubCause string               `json:"sub_cause,omitempty"`
+	Evidence *flight.EvidenceJSON `json:"evidence,omitempty"`
+}
+
+// WriteTraceJSONL streams the flow as JSON lines: every record as a
+// "pkt" time/sequence sample, and after each stall's closing record a
+// "stall" line with the verdict and (when available) the full
+// evidence. Lines appear in capture order, so a reader can replay the
+// flow and the verdicts in one pass.
+func WriteTraceJSONL(w io.Writer, f *trace.Flow, a *core.FlowAnalysis, rec *flight.Recorder) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	stallAt := make(map[int][]*core.Stall, len(a.Stalls))
+	for i := range a.Stalls {
+		st := &a.Stalls[i]
+		stallAt[st.EndRecIdx] = append(stallAt[st.EndRecIdx], st)
+	}
+	for i := range f.Records {
+		r := &f.Records[i]
+		if err := enc.Encode(PktLine{
+			Type: "pkt", Flow: a.FlowID, Idx: i, TS: r.T.Seconds(),
+			Dir: r.Dir.String(), Seq: r.Seg.Seq, Ack: r.Seg.Ack, Len: r.Seg.Len,
+			Wnd: r.Seg.Wnd, Flag: r.Seg.Flags.String(), Sack: len(r.Seg.SACK),
+		}); err != nil {
+			return err
+		}
+		for _, st := range stallAt[i] {
+			line := StallLine{
+				Type: "stall", Flow: a.FlowID, ID: st.ID,
+				StartS: st.Start.Seconds(), EndS: st.End.Seconds(),
+				Cause: st.Cause.String(),
+			}
+			if st.Cause == core.CauseTimeoutRetrans {
+				line.SubCause = st.RetransCause.String()
+			}
+			if st.Evidence != nil {
+				if ev := rec.Evidence(st.Evidence.Stall); ev != nil {
+					j := ev.JSON()
+					line.Evidence = &j
+				}
+			}
+			if err := enc.Encode(line); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

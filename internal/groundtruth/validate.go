@@ -6,6 +6,8 @@ import (
 	"strings"
 
 	"tcpstall/internal/core"
+	"tcpstall/internal/flight"
+	"tcpstall/internal/sim"
 	"tcpstall/internal/tcpsim"
 	"tcpstall/internal/trace"
 )
@@ -66,6 +68,39 @@ func (ft *FlowTruth) Cause(f *trace.Flow, st *core.Stall) core.Cause {
 	return core.CauseUndetermined
 }
 
+// Disagreement is one stall where TAPO's wire-only verdict differs
+// from the simulator's privileged truth, carrying the flight-recorder
+// evidence so the misclassification can be debugged from the report
+// alone: which Figure-5/Table-5 branches fired, with which values.
+type Disagreement struct {
+	FlowID     string
+	Stall      int // monotonic per-flow stall ID
+	Truth      core.Cause
+	Predicted  core.Cause
+	Start, End sim.Time
+	// Evidence is TAPO's decision path and packet window for this
+	// stall; nil when grading ran without a recorder or the evidence
+	// entry was evicted from the per-flow ring.
+	Evidence *flight.Evidence
+}
+
+// String renders the disagreement with its decision path, one branch
+// per line.
+func (d *Disagreement) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "flow %s stall #%d [%.3fs..%.3fs]: truth=%s tapo=%s",
+		d.FlowID, d.Stall, d.Start.Seconds(), d.End.Seconds(), d.Truth, d.Predicted)
+	if d.Evidence == nil {
+		b.WriteString("\n    (no evidence captured)")
+		return b.String()
+	}
+	for _, step := range d.Evidence.Decision {
+		b.WriteString("\n    ")
+		b.WriteString(step.String())
+	}
+	return b.String()
+}
+
 // Report aggregates a differential-validation run: the confusion
 // matrix between ground-truth causes (rows) and TAPO's classification
 // (columns), over every stall of every graded flow.
@@ -75,6 +110,9 @@ type Report struct {
 	Agree  int
 	// Confusion counts stalls per (truth, predicted) cause pair.
 	Confusion map[[2]core.Cause]int
+	// Disagreements lists every graded stall where truth != predicted,
+	// each with its flight evidence (when a recorder was attached).
+	Disagreements []Disagreement
 }
 
 // NewReport returns an empty report.
@@ -99,10 +137,13 @@ func (r *Report) Merge(o *Report) {
 	for k, v := range o.Confusion {
 		r.Confusion[k] += v
 	}
+	r.Disagreements = append(r.Disagreements, o.Disagreements...)
 }
 
-// AddFlow grades one analyzed flow against its truth log.
-func (r *Report) AddFlow(f *trace.Flow, ft *FlowTruth, a *core.FlowAnalysis) {
+// AddFlow grades one analyzed flow against its truth log. rec, when
+// non-nil, supplies the flight evidence attached to each disagreement
+// (it must be the recorder that observed a's analysis).
+func (r *Report) AddFlow(f *trace.Flow, ft *FlowTruth, a *core.FlowAnalysis, rec *flight.Recorder) {
 	r.Flows++
 	for i := range a.Stalls {
 		st := &a.Stalls[i]
@@ -110,20 +151,39 @@ func (r *Report) AddFlow(f *trace.Flow, ft *FlowTruth, a *core.FlowAnalysis) {
 		r.Stalls++
 		if truth == st.Cause {
 			r.Agree++
+		} else {
+			d := Disagreement{
+				FlowID:    a.FlowID,
+				Stall:     st.ID,
+				Truth:     truth,
+				Predicted: st.Cause,
+				Start:     st.Start,
+				End:       st.End,
+			}
+			if rec != nil {
+				d.Evidence = rec.Evidence(st.ID)
+			}
+			r.Disagreements = append(r.Disagreements, d)
 		}
 		r.Confusion[[2]core.Cause{truth, st.Cause}]++
 	}
 }
 
-// Validate runs TAPO over each flow and grades every stall; flows and
-// truths are parallel slices (a nil truth skips the flow).
+// Validate runs TAPO over each flow with a flight recorder attached
+// and grades every stall; flows and truths are parallel slices (a nil
+// truth skips the flow). Every disagreement in the report carries its
+// evidence — the decision path behind the wrong verdict.
 func Validate(flows []*trace.Flow, truths []*FlowTruth, cfg core.Config) *Report {
 	rep := NewReport()
 	for i, f := range flows {
 		if f == nil || i >= len(truths) || truths[i] == nil {
 			continue
 		}
-		rep.AddFlow(f, truths[i], core.Analyze(f, cfg))
+		// Offline grading keeps evidence for every stall: a flow can't
+		// stall more often than it has records, so this cap never
+		// evicts.
+		a, rec := core.AnalyzeFlight(f, cfg, flight.Config{MaxStalls: len(f.Records) + 1})
+		rep.AddFlow(f, truths[i], a, rec)
 	}
 	return rep
 }
@@ -171,6 +231,17 @@ func (r *Report) String() string {
 			fmt.Fprintf(&b, "  %*d", w, r.Confusion[[2]core.Cause{truth, pred}])
 		}
 		b.WriteByte('\n')
+	}
+	if len(r.Disagreements) > 0 {
+		const show = 8
+		fmt.Fprintf(&b, "disagreements (%d, showing %d):\n",
+			len(r.Disagreements), min(show, len(r.Disagreements)))
+		for i := range r.Disagreements {
+			if i == show {
+				break
+			}
+			fmt.Fprintf(&b, "  %s\n", r.Disagreements[i].String())
+		}
 	}
 	return b.String()
 }

@@ -1,6 +1,7 @@
 package groundtruth_test
 
 import (
+	"strings"
 	"testing"
 
 	"tcpstall/internal/core"
@@ -41,6 +42,55 @@ func TestDifferentialAgreement(t *testing.T) {
 			}
 			t.Logf("\n%s", rep)
 		})
+	}
+}
+
+// Every disagreement in a validation report must carry the flight
+// evidence behind TAPO's (wrong) verdict: a non-empty decision path
+// and a renderable narrative. This is what makes a dropped-accuracy
+// CI failure debuggable from its log alone.
+func TestDisagreementsCarryEvidence(t *testing.T) {
+	rep := groundtruth.NewReport()
+	for _, svc := range workload.Services() {
+		res := workload.Generate(svc, 7, workload.GenOptions{Flows: 100, WithTruth: true})
+		var flows []*trace.Flow
+		var truths []*groundtruth.FlowTruth
+		for _, r := range res {
+			flows = append(flows, r.Flow)
+			truths = append(truths, r.Truth)
+		}
+		rep.Merge(groundtruth.Validate(flows, truths, core.DefaultConfig()))
+	}
+	if rep.Stalls-rep.Agree != len(rep.Disagreements) {
+		t.Fatalf("%d stalls, %d agree, but %d disagreements recorded",
+			rep.Stalls, rep.Agree, len(rep.Disagreements))
+	}
+	if len(rep.Disagreements) == 0 {
+		t.Skip("perfect agreement this seed; nothing to check")
+	}
+	for i := range rep.Disagreements {
+		d := &rep.Disagreements[i]
+		if d.Truth == d.Predicted {
+			t.Errorf("disagreement %d agrees with itself: %+v", i, d)
+		}
+		if d.Evidence == nil {
+			t.Errorf("disagreement %d (flow %s stall %d) has no evidence", i, d.FlowID, d.Stall)
+			continue
+		}
+		if len(d.Evidence.Decision) == 0 {
+			t.Errorf("disagreement %d evidence has an empty decision path", i)
+		}
+		if d.Evidence.Ref.Stall != d.Stall {
+			t.Errorf("disagreement %d evidence ref %d != stall %d", i, d.Evidence.Ref.Stall, d.Stall)
+		}
+		s := d.String()
+		if !strings.Contains(s, "truth=") || !strings.Contains(s, "tapo=") {
+			t.Errorf("disagreement narrative missing verdicts: %q", s)
+		}
+	}
+	// The report's own rendering surfaces them too.
+	if !strings.Contains(rep.String(), "disagreements (") {
+		t.Errorf("report String() omits the disagreement section:\n%s", rep)
 	}
 }
 

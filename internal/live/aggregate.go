@@ -34,6 +34,10 @@ type aggregates struct {
 	recordsFed     uint64
 	recordsCapDrop uint64 // dropped by the per-flow record cap
 
+	// flight-recorder ring truncation, folded in at flow eviction.
+	flightEventDrops    uint64
+	flightEvidenceDrops uint64
+
 	stallCount   map[CauseKey]uint64
 	stallSeconds map[CauseKey]float64
 	durationsMS  *stats.Histogram
@@ -91,6 +95,8 @@ func (ag *aggregates) merge(o *aggregates) {
 	ag.flowsTruncated += o.flowsTruncated
 	ag.recordsFed += o.recordsFed
 	ag.recordsCapDrop += o.recordsCapDrop
+	ag.flightEventDrops += o.flightEventDrops
+	ag.flightEvidenceDrops += o.flightEvidenceDrops
 	for r, n := range o.flowsEvicted {
 		ag.flowsEvicted[r] += n
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"time"
@@ -15,16 +16,19 @@ import (
 
 // NewHandler exposes a Monitor's metrics and admin planes:
 //
-//	GET /metrics  Prometheus text exposition (see writeMetrics)
-//	GET /healthz  liveness — 200 "ok" while the monitor accepts records
-//	GET /flows    JSON list of active flows
-//	GET /stalls   JSON ring of the most recent closed stalls
-//	GET /config   JSON of the effective (defaulted) configuration
+//	GET /metrics                 Prometheus text exposition (see writeMetrics)
+//	GET /healthz                 liveness — 200 "ok" while the monitor accepts records
+//	GET /flows                   JSON list of active flows (?n= limits)
+//	GET /flows/{id}              one active flow, 404 when unknown/evicted
+//	GET /debug/flows/{id}/trace  the flow's flight-recorder evidence
+//	GET /stalls                  JSON ring of the most recent closed stalls (?n= limits)
+//	GET /config                  JSON of the effective (defaulted) configuration
 func NewHandler(m *Monitor) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		writeMetrics(w, m.Snapshot())
+		writeRuntimeMetrics(w)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		if m.closed.Load() {
@@ -34,12 +38,43 @@ func NewHandler(m *Monitor) http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /flows", func(w http.ResponseWriter, r *http.Request) {
+		limit, ok := limitParam(w, r)
+		if !ok {
+			return
+		}
 		flows := m.Flows()
 		sort.Slice(flows, func(i, j int) bool { return flows[i].ID < flows[j].ID })
-		writeJSON(w, map[string]any{"active": len(flows), "flows": flows})
+		active := len(flows)
+		if limit > 0 && limit < len(flows) {
+			flows = flows[:limit]
+		}
+		writeJSON(w, map[string]any{"active": active, "flows": flows})
+	})
+	mux.HandleFunc("GET /flows/{id}", func(w http.ResponseWriter, r *http.Request) {
+		info, ok := m.Flow(r.PathValue("id"))
+		if !ok {
+			http.Error(w, "unknown flow (never seen, or already evicted)", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, info)
+	})
+	mux.HandleFunc("GET /debug/flows/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		ft, ok := m.FlowTrace(r.PathValue("id"))
+		if !ok {
+			http.Error(w, "unknown flow (never seen, or already evicted)", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, ft)
 	})
 	mux.HandleFunc("GET /stalls", func(w http.ResponseWriter, r *http.Request) {
+		limit, ok := limitParam(w, r)
+		if !ok {
+			return
+		}
 		stalls := m.RecentStalls()
+		if limit > 0 && limit < len(stalls) {
+			stalls = stalls[len(stalls)-limit:] // newest-biased tail
+		}
 		out := make([]stallJSON, 0, len(stalls))
 		for _, ls := range stalls {
 			out = append(out, newStallJSON(ls))
@@ -69,24 +104,45 @@ func NewHandler(m *Monitor) http.Handler {
 	return mux
 }
 
-// stallJSON flattens a LiveStall for the admin plane.
+// limitParam parses the optional ?n= result cap; on a malformed or
+// negative value it writes 400 and reports false.
+func limitParam(w http.ResponseWriter, r *http.Request) (int, bool) {
+	q := r.URL.Query().Get("n")
+	if q == "" {
+		return 0, true
+	}
+	n, err := strconv.Atoi(q)
+	if err != nil || n < 0 {
+		http.Error(w, "bad query: n must be a non-negative integer", http.StatusBadRequest)
+		return 0, false
+	}
+	return n, true
+}
+
+// stallJSON flattens a LiveStall for the admin plane. ID is the
+// stall's flow-scoped identifier — the same one evidence refs and
+// groundtruth grading use.
 type stallJSON struct {
 	FlowID       string  `json:"flow_id"`
 	Service      string  `json:"service,omitempty"`
-	Index        int     `json:"index"`
+	ID           int     `json:"id"`
 	StartS       float64 `json:"start_s"`
 	EndS         float64 `json:"end_s"`
 	DurationMS   float64 `json:"duration_ms"`
 	Cause        string  `json:"cause"`
 	Category     string  `json:"category"`
 	RetransCause string  `json:"retrans_cause,omitempty"`
+	// Evidence names the flight-recorder entry for this stall
+	// (resolve via /debug/flows/{flow_id}/trace); absent when the
+	// recorder is disabled.
+	Evidence string `json:"evidence,omitempty"`
 }
 
 func newStallJSON(ls core.LiveStall) stallJSON {
 	sj := stallJSON{
 		FlowID:     ls.FlowID,
 		Service:    ls.Service,
-		Index:      ls.Index,
+		ID:         ls.Stall.ID,
 		StartS:     ls.Stall.Start.Seconds(),
 		EndS:       ls.Stall.End.Seconds(),
 		DurationMS: float64(ls.Stall.Duration) / float64(time.Millisecond),
@@ -95,6 +151,9 @@ func newStallJSON(ls core.LiveStall) stallJSON {
 	}
 	if ls.Stall.Cause == core.CauseTimeoutRetrans {
 		sj.RetransCause = ls.Stall.RetransCause.String()
+	}
+	if ls.Stall.Evidence != nil {
+		sj.Evidence = ls.Stall.Evidence.String()
 	}
 	return sj
 }
@@ -125,6 +184,17 @@ func writeMetrics(w io.Writer, s Snapshot) {
 	p("# TYPE tapod_records_dropped_total counter\n")
 	p("tapod_records_dropped_total{reason=%q} %d\n", "ring_full", s.RingDrops)
 	p("tapod_records_dropped_total{reason=%q} %d\n", "flow_record_cap", s.RecordsCapDrop)
+
+	p("# HELP tapod_shard_ring_drops_total Records shed at each shard's full ingest ring.\n")
+	p("# TYPE tapod_shard_ring_drops_total counter\n")
+	for i, n := range s.ShardRingDrops {
+		p("tapod_shard_ring_drops_total{shard=\"%d\"} %d\n", i, n)
+	}
+
+	p("# HELP tapod_flight_drops_total Flight-recorder ring truncation (settled at flow eviction), by kind.\n")
+	p("# TYPE tapod_flight_drops_total counter\n")
+	p("tapod_flight_drops_total{kind=%q} %d\n", "event", s.FlightEventDrops)
+	p("tapod_flight_drops_total{kind=%q} %d\n", "evidence", s.FlightEvidenceDrops)
 
 	p("# HELP tapod_records_fed_total Records fed into per-flow analyzers.\n")
 	p("# TYPE tapod_records_fed_total counter\n")
@@ -191,6 +261,35 @@ func writeMetrics(w io.Writer, s Snapshot) {
 	p("# HELP tapod_window_span_seconds Width of the rolling window.\n")
 	p("# TYPE tapod_window_span_seconds gauge\n")
 	p("tapod_window_span_seconds %s\n", fnum(s.Window.Span.Seconds()))
+}
+
+// writeRuntimeMetrics emits the daemon's own Go runtime health —
+// goroutine count, heap, GC pause — so the monitor watches itself
+// with the same scrape that watches the flows.
+func writeRuntimeMetrics(w io.Writer) {
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+
+	p("# HELP tapod_goroutines Current goroutine count.\n")
+	p("# TYPE tapod_goroutines gauge\n")
+	p("tapod_goroutines %d\n", runtime.NumGoroutine())
+
+	p("# HELP tapod_heap_alloc_bytes Bytes of allocated heap objects.\n")
+	p("# TYPE tapod_heap_alloc_bytes gauge\n")
+	p("tapod_heap_alloc_bytes %d\n", ms.HeapAlloc)
+
+	p("# HELP tapod_heap_sys_bytes Heap memory obtained from the OS.\n")
+	p("# TYPE tapod_heap_sys_bytes gauge\n")
+	p("tapod_heap_sys_bytes %d\n", ms.HeapSys)
+
+	p("# HELP tapod_gc_cycles_total Completed GC cycles.\n")
+	p("# TYPE tapod_gc_cycles_total counter\n")
+	p("tapod_gc_cycles_total %d\n", ms.NumGC)
+
+	p("# HELP tapod_gc_pause_seconds_total Cumulative GC stop-the-world pause time.\n")
+	p("# TYPE tapod_gc_pause_seconds_total counter\n")
+	p("tapod_gc_pause_seconds_total %s\n", fnum(float64(ms.PauseTotalNs)/1e9))
 }
 
 // writeHistogram emits one Prometheus histogram family from a

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"tcpstall/internal/core"
+	"tcpstall/internal/flight"
 	"tcpstall/internal/packet"
 	"tcpstall/internal/sim"
 	"tcpstall/internal/stats"
@@ -72,6 +73,11 @@ type Config struct {
 	// Analysis parameterizes the per-flow analyzer (zero value:
 	// core.DefaultConfig).
 	Analysis core.Config
+	// Flight, when non-nil, attaches a flight recorder (with these
+	// settings; zero fields select flight defaults) to every admitted
+	// flow, so /debug/flows/{id}/trace can serve per-stall evidence.
+	// Nil keeps the analyzers on their zero-overhead path.
+	Flight *flight.Config
 	// Clock supplies wall time (default time.Now; injectable for
 	// tests).
 	Clock func() time.Time
@@ -188,12 +194,14 @@ func (m *Monitor) Ingest(ev trace.RecordEvent) bool {
 		m.ringDrops.Add(1)
 		return false
 	}
+	sh := m.shardOf(ev.FlowID)
 	select {
-	case m.shardOf(ev.FlowID).in <- ev:
+	case sh.in <- ev:
 		m.ingested.Add(1)
 		return true
 	default:
 		m.ringDrops.Add(1)
+		sh.ringDrops.Add(1)
 		return false
 	}
 }
@@ -229,6 +237,7 @@ func (m *Monitor) Close() {
 type flowEntry struct {
 	id        string
 	inc       *core.Incremental
+	rec       *flight.Recorder // nil unless Config.Flight is set
 	meta      core.FlowMeta
 	el        *list.Element
 	lastSeen  time.Time
@@ -244,6 +253,10 @@ type shard struct {
 	m        *Monitor
 	in       chan trace.RecordEvent
 	maxFlows int
+	// ringDrops counts records shed at THIS shard's full ring — the
+	// per-shard split of Monitor.ringDrops, so /metrics can show which
+	// shard a hot flow is overloading.
+	ringDrops atomic.Uint64
 
 	mu    sync.Mutex
 	flows map[string]*flowEntry
@@ -306,6 +319,10 @@ func (sh *shard) process(ev *trace.RecordEvent) {
 		}
 		e.inc.SetMeta(e.meta)
 		e.inc.OnStall = sh.stallClosed
+		if sh.m.cfg.Flight != nil {
+			e.rec = flight.NewRecorder(*sh.m.cfg.Flight)
+			e.inc.SetRecorder(e.rec)
+		}
 		e.el = sh.lru.PushFront(e)
 		sh.flows[ev.FlowID] = e
 		sh.agg.flowsSeen++
@@ -375,6 +392,12 @@ func (sh *shard) evictLocked(e *flowEntry, reason string) {
 	sh.lru.Remove(e.el)
 	a := e.inc.Flush()
 	sh.agg.flowEvicted(reason, a, e.truncated)
+	if e.rec != nil {
+		// Flight-ring truncation is settled at eviction: what the
+		// rings overwrote while the flow lived is final now.
+		sh.agg.flightEventDrops += e.rec.EventDrops()
+		sh.agg.flightEvidenceDrops += e.rec.EvidenceDrops()
+	}
 	if sh.m.cfg.OnFlow != nil {
 		sh.m.cfg.OnFlow(reason, a)
 	}
@@ -450,12 +473,22 @@ type Snapshot struct {
 	ActiveFlows int
 	Ingested    uint64
 	RingDrops   uint64
+	// ShardRingDrops splits RingDrops by shard (drops charged to the
+	// monitor as a whole — e.g. ingest after Close — appear only in
+	// the total).
+	ShardRingDrops []uint64
 
 	FlowsSeen      uint64
 	FlowsEvicted   map[string]uint64
 	FlowsTruncated uint64
 	RecordsFed     uint64
 	RecordsCapDrop uint64
+
+	// FlightEventDrops / FlightEvidenceDrops count flight-recorder
+	// ring overwrites and evidence evictions, settled at flow
+	// eviction. Zero when Config.Flight is nil.
+	FlightEventDrops    uint64
+	FlightEvidenceDrops uint64
 
 	StallCount     map[CauseKey]uint64
 	StallSeconds   map[CauseKey]float64
@@ -477,22 +510,29 @@ func (m *Monitor) Snapshot() Snapshot {
 		DurationsMS:  stats.NewHistogram(DurationBoundsMS),
 	}
 	active := 0
-	for _, sh := range m.shards {
+	shardDrops := make([]uint64, len(m.shards))
+	for i, sh := range m.shards {
 		sh.mu.Lock()
 		total.merge(sh.agg)
 		win.mergeWindow(sh.agg.window.snapshot(now))
 		active += len(sh.flows)
 		sh.mu.Unlock()
+		shardDrops[i] = sh.ringDrops.Load()
 	}
 	s := Snapshot{
 		ActiveFlows:    active,
 		Ingested:       m.ingested.Load(),
 		RingDrops:      m.ringDrops.Load(),
+		ShardRingDrops: shardDrops,
 		FlowsSeen:      total.flowsSeen,
 		FlowsEvicted:   total.flowsEvicted,
 		FlowsTruncated: total.flowsTruncated,
 		RecordsFed:     total.recordsFed,
 		RecordsCapDrop: total.recordsCapDrop,
+
+		FlightEventDrops:    total.flightEventDrops,
+		FlightEvidenceDrops: total.flightEvidenceDrops,
+
 		StallCount:     total.stallCount,
 		StallSeconds:   total.stallSeconds,
 		DurationsMS:    total.durationsMS,
@@ -525,19 +565,79 @@ func (m *Monitor) Flows() []FlowInfo {
 	for _, sh := range m.shards {
 		sh.mu.Lock()
 		for el := sh.lru.Front(); el != nil; el = el.Next() {
-			e := el.Value.(*flowEntry)
-			out = append(out, FlowInfo{
-				ID:        e.id,
-				Service:   e.meta.Service,
-				Records:   e.inc.Records(),
-				DataBytes: e.inc.DataBytesSoFar(),
-				Stalls:    e.inc.Stalls(),
-				LastT:     sim.Time(e.inc.LastT()).Seconds(),
-				LastSeen:  e.lastSeen,
-				Truncated: e.truncated,
-			})
+			out = append(out, infoOf(el.Value.(*flowEntry)))
 		}
 		sh.mu.Unlock()
 	}
 	return out
+}
+
+func infoOf(e *flowEntry) FlowInfo {
+	return FlowInfo{
+		ID:        e.id,
+		Service:   e.meta.Service,
+		Records:   e.inc.Records(),
+		DataBytes: e.inc.DataBytesSoFar(),
+		Stalls:    e.inc.Stalls(),
+		LastT:     sim.Time(e.inc.LastT()).Seconds(),
+		LastSeen:  e.lastSeen,
+		Truncated: e.truncated,
+	}
+}
+
+// Flow looks up one active flow by exact ID.
+func (m *Monitor) Flow(id string) (FlowInfo, bool) {
+	var info FlowInfo
+	ok := m.withFlow(id, func(e *flowEntry) { info = infoOf(e) })
+	return info, ok
+}
+
+// FlowTrace is the /debug/flows/{id}/trace payload: everything the
+// flow's flight recorder holds, deep-copied so it can be marshalled
+// after the shard lock is released.
+type FlowTrace struct {
+	FlowInfo
+	// Flight is false when the monitor runs without recorders; the
+	// evidence fields are then empty.
+	Flight        bool                  `json:"flight"`
+	EventDrops    uint64                `json:"event_drops"`
+	EvidenceDrops uint64                `json:"evidence_drops"`
+	Evidences     []flight.EvidenceJSON `json:"evidences"`
+	Events        []flight.EventJSON    `json:"events"`
+}
+
+// FlowTrace snapshots one active flow's flight-recorder state.
+func (m *Monitor) FlowTrace(id string) (FlowTrace, bool) {
+	var ft FlowTrace
+	ok := m.withFlow(id, func(e *flowEntry) {
+		ft.FlowInfo = infoOf(e)
+		if e.rec == nil {
+			return
+		}
+		ft.Flight = true
+		ft.EventDrops = e.rec.EventDrops()
+		ft.EvidenceDrops = e.rec.EvidenceDrops()
+		for _, ev := range e.rec.Evidences() {
+			ft.Evidences = append(ft.Evidences, ev.JSON())
+		}
+		for _, e := range e.rec.Events() {
+			ft.Events = append(ft.Events, e.JSON())
+		}
+	})
+	return ft, ok
+}
+
+// withFlow runs fn on one active flow under its shard's lock,
+// reporting whether the flow exists. fn must not call back into the
+// Monitor.
+func (m *Monitor) withFlow(id string, fn func(*flowEntry)) bool {
+	sh := m.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := sh.flows[id]
+	if e == nil {
+		return false
+	}
+	fn(e)
+	return true
 }
