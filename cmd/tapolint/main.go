@@ -1,0 +1,73 @@
+// Command tapolint runs the repo's invariant analyzers (seqsafe,
+// detclock, lockcheck, evpurity, jsontags) over the given packages
+// and exits nonzero when any finding survives. It is the CI gate
+// behind every refactor: the invariants it enforces (wraparound-safe
+// sequence arithmetic, deterministic simulation, lock discipline,
+// observer purity, wire-format hygiene) are exactly the unwritten
+// rules whose silent violation would invalidate the reproduction.
+//
+// Usage:
+//
+//	go run ./cmd/tapolint ./...
+//	go run ./cmd/tapolint -only seqsafe,detclock ./internal/core/
+//
+// Suppress a finding with a justified directive on the same line or
+// the line above: //lint:allow <analyzer> <reason>.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tcpstall/internal/lint"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.Analyzers
+	if *only != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a := lint.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "tapolint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tapolint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tapolint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "tapolint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

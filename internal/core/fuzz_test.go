@@ -118,6 +118,32 @@ func FuzzIncrementalFeed(f *testing.F) {
 	}
 	f.Add(wrapped)
 
+	// Seed: wrapped ISN combined with clock skew — SACK blocks that
+	// straddle the 2^32 boundary while the time deltas alternate
+	// between near-zero and near-maximum, so every seqsafe-protected
+	// comparison (SACK edges, dup-ACK runs, RTT pairing) is exercised
+	// right at the wrap with hostile pacing.
+	var skew []byte
+	skewISN := uint32(0xFFFFFB00)
+	skew = append(skew, encodeFuzzRecord(tcpsim.DirIn, packet.FlagSYN, 42, 0, 60000, 0, 0)...)
+	skew = append(skew, encodeFuzzRecord(tcpsim.DirOut, packet.FlagSYN|packet.FlagACK, skewISN, 43, 65535, 0, 1)...)
+	for i := 0; i < 6; i++ {
+		dt := uint16(1)
+		if i%2 == 1 {
+			dt = 65000 // ~65s jump: alternating tiny/huge deltas
+		}
+		skew = append(skew, encodeFuzzRecord(tcpsim.DirOut, packet.FlagACK, skewISN+1+uint32(i)*1455, 43, 65535, 15, dt)...)
+		// Cumulative ACK lags behind; a SACK block crosses the wrap.
+		ackRec := encodeFuzzRecord(tcpsim.DirIn, packet.FlagACK, 43, skewISN+1, 60000, 0, 1)
+		ackRec[0] |= 64 // attach a SACK block
+		var blk [8]byte
+		binary.LittleEndian.PutUint32(blk[0:4], skewISN+1+uint32(i)*1455)   // left edge below the wrap…
+		binary.LittleEndian.PutUint32(blk[4:8], skewISN+1+uint32(i+1)*1455) // …right edge past it
+		skew = append(skew, ackRec...)
+		skew = append(skew, blk[:]...)
+	}
+	f.Add(skew)
+
 	// Seed: pathological — a retransmission-shaped repeat with RST.
 	var hostile []byte
 	hostile = append(hostile, encodeFuzzRecord(tcpsim.DirOut, packet.FlagACK, 1000, 1, 0, 20, 0)...)

@@ -522,7 +522,7 @@ func TestFigure2SeriesShape(t *testing.T) {
 	}
 	// First-transmission sequence numbers are nondecreasing; at least
 	// one retransmission appears (the scripted blackouts).
-	var prev uint32
+	var prev uint64
 	retrans := 0
 	for _, p := range res.Series {
 		if p.Retrans {

@@ -7,6 +7,7 @@ import (
 
 	"tcpstall/internal/core"
 	"tcpstall/internal/netem"
+	"tcpstall/internal/seqspace"
 	"tcpstall/internal/sim"
 	"tcpstall/internal/tcpsim"
 	"tcpstall/internal/trace"
@@ -15,8 +16,10 @@ import (
 // SeqPoint is one point of the Figure-2 sequence/time plot.
 type SeqPoint struct {
 	T time.Duration
-	// Seq is the relative stream offset of an outgoing data segment.
-	Seq uint32
+	// Seq is the relative stream offset of an outgoing data segment,
+	// unwrapped past 2^32 so a transfer crossing an ISN wrap still
+	// plots monotonically.
+	Seq uint64
 	// Retrans marks retransmitted copies (plotted distinctly in the
 	// paper's figure).
 	Retrans bool
@@ -39,26 +42,31 @@ type Figure2Result struct {
 }
 
 // seqSeries extracts the outgoing-data sequence plot from a flow.
+// Wire sequence numbers go through a seqspace.Unwrapper before any
+// arithmetic: subtracting the base or keying the retransmission set on
+// raw uint32 values would alias across a 2^32 wrap.
 func seqSeries(fl *trace.Flow) []SeqPoint {
 	var out []SeqPoint
-	seen := map[uint32]bool{}
-	var base uint32
+	seen := map[uint64]bool{}
+	var uw seqspace.Unwrapper
+	var base uint64
 	haveBase := false
 	for i := range fl.Records {
 		r := &fl.Records[i]
 		if r.Dir != tcpsim.DirOut || r.Seg.Len == 0 {
 			continue
 		}
+		off := uw.Unwrap(r.Seg.Seq)
 		if !haveBase {
-			base = r.Seg.Seq
+			base = off
 			haveBase = true
 		}
 		out = append(out, SeqPoint{
 			T:       time.Duration(r.T),
-			Seq:     r.Seg.Seq - base,
-			Retrans: seen[r.Seg.Seq],
+			Seq:     off - base,
+			Retrans: seen[off],
 		})
-		seen[r.Seg.Seq] = true
+		seen[off] = true
 	}
 	return out
 }

@@ -176,19 +176,22 @@ type Recorder struct {
 
 	// events is the bounded ring; total counts events ever emitted,
 	// so ring position is total%len and drops = total-len once full.
+	// guarded by the owning analyzer's single goroutine (external)
 	events []Event
-	total  uint64
+	total  uint64 // guarded by the owning analyzer's single goroutine (external)
 
 	// recent holds the last WindowK+1 record samples (pre-gap
 	// context); open lists evidences still awaiting post-gap samples.
+	// guarded by the owning analyzer's single goroutine (external)
 	recent []RecSample
-	open   []*Evidence
+	open   []*Evidence // guarded by the owning analyzer's single goroutine (external)
 
 	// stalls maps stall ID → evidence; order preserves insertion so
 	// the cap evicts oldest-first.
+	// guarded by the owning analyzer's single goroutine (external)
 	stalls        map[int]*Evidence
-	order         []int
-	evidenceDrops uint64
+	order         []int  // guarded by the owning analyzer's single goroutine (external)
+	evidenceDrops uint64 // guarded by the owning analyzer's single goroutine (external)
 }
 
 // NewRecorder builds an enabled recorder.

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Detclock enforces the deterministic-run contract of the simulator
+// and analysis packages: one seed, one output, on any machine at any
+// time of day. In those packages it forbids
+//
+//   - wall-clock reads and timers (time.Now, Since, Until, After,
+//     Tick, Sleep, AfterFunc, NewTimer, NewTicker) — virtual time
+//     comes from internal/sim;
+//   - the global math/rand (and math/rand/v2) state — randomness must
+//     flow through a seeded sim.RNG (rand.New over an explicit
+//     source is fine);
+//   - output emitted directly inside a range over a map, whose
+//     iteration order is deliberately randomized by the runtime.
+//
+// The daemon and CLI edges (cmd/*, internal/live, internal/explain,
+// …) legitimately touch the wall clock and are out of scope; inside a
+// deterministic package a justified escape hatch is
+// `//lint:allow detclock <reason>`.
+var Detclock = &Analyzer{
+	Name: "detclock",
+	Doc:  "forbids wall-clock, global math/rand and map-order output in deterministic packages",
+	Run:  runDetclock,
+}
+
+// detPackages are the module packages under the deterministic
+// contract (subpackages included).
+var detPackages = []string{
+	"internal/sim",
+	"internal/tcpsim",
+	"internal/netem",
+	"internal/workload",
+	"internal/core",
+	"internal/groundtruth",
+}
+
+// InDeterministicPackage reports whether pkgPath is bound by the
+// detclock contract.
+func InDeterministicPackage(pkgPath string) bool {
+	for _, p := range detPackages {
+		if pkgIs(pkgPath, modulePkg(p)) {
+			return true
+		}
+	}
+	return false
+}
+
+// forbiddenFuncs maps package path → function names that read or
+// schedule against ambient nondeterministic state.
+var forbiddenFuncs = map[string]map[string]string{
+	"time": {
+		"Now": "", "Since": "", "Until": "", "After": "", "Tick": "",
+		"Sleep": "", "AfterFunc": "", "NewTimer": "", "NewTicker": "",
+	},
+	"math/rand": {
+		"Seed": "", "Int": "", "Intn": "", "Int31": "", "Int31n": "",
+		"Int63": "", "Int63n": "", "Uint32": "", "Uint64": "",
+		"Float32": "", "Float64": "", "ExpFloat64": "", "NormFloat64": "",
+		"Perm": "", "Shuffle": "", "Read": "",
+	},
+	"math/rand/v2": {
+		"Int": "", "IntN": "", "Int32": "", "Int32N": "", "Int64": "",
+		"Int64N": "", "Uint": "", "UintN": "", "Uint32": "", "Uint32N": "",
+		"Uint64": "", "Uint64N": "", "Float32": "", "Float64": "",
+		"ExpFloat64": "", "NormFloat64": "", "Perm": "", "Shuffle": "", "N": "",
+	},
+}
+
+func runDetclock(pass *Pass) error {
+	if !InDeterministicPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	pass.Preorder(func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			// Any reference — call or stored function value — to a
+			// forbidden package function leaks ambient state.
+			obj, ok := pass.Info.Uses[x.Sel].(*types.Func)
+			if !ok || obj.Pkg() == nil {
+				return true
+			}
+			if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+				// Methods (e.g. a seeded *rand.Rand) draw from
+				// explicit state, not the ambient globals.
+				return true
+			}
+			if names, ok := forbiddenFuncs[obj.Pkg().Path()]; ok {
+				if _, bad := names[obj.Name()]; bad {
+					pass.Reportf(x.Pos(),
+						"%s.%s breaks the deterministic-run contract; use the injected sim clock/RNG",
+						obj.Pkg().Name(), obj.Name())
+				}
+			}
+		case *ast.RangeStmt:
+			checkMapOrderOutput(pass, x)
+		}
+		return true
+	})
+	return nil
+}
+
+// checkMapOrderOutput flags output emitted directly inside a range
+// over a map: the runtime randomizes iteration order, so anything
+// printed or written in the loop body differs run to run. The
+// sanctioned shape — collect keys, sort, then emit — does not write
+// inside the range body and is not flagged.
+func checkMapOrderOutput(pass *Pass, rs *ast.RangeStmt) {
+	t := pass.Info.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := funcObjOf(pass.Info, call)
+		if f == nil {
+			return true
+		}
+		if isOutputFunc(f) {
+			pass.Reportf(call.Pos(),
+				"output inside a range over a map follows randomized iteration order; collect and sort keys first")
+		}
+		return true
+	})
+}
+
+// isOutputFunc recognizes the fmt print family and Write/WriteString
+// style sinks.
+func isOutputFunc(f *types.Func) bool {
+	if f.Pkg() != nil && f.Pkg().Path() == "fmt" {
+		switch f.Name() {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return true
+		}
+		return false
+	}
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		switch f.Name() {
+		case "Write", "WriteString", "WriteByte", "WriteRune":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,39 @@
+package lint_test
+
+import (
+	"testing"
+
+	"tcpstall/internal/lint"
+	"tcpstall/internal/lint/linttest"
+)
+
+func TestDetclock(t *testing.T) {
+	linttest.Run(t, lint.Detclock, "testdata/detclock/det", "tcpstall/internal/tcpsim/det")
+}
+
+func TestDetclockSkipsDaemonEdges(t *testing.T) {
+	// The daemon/CLI layers legitimately pace against the wall clock;
+	// the same calls there are silent.
+	linttest.Run(t, lint.Detclock, "testdata/detclock/edge", "tcpstall/cmd/tapod/edge")
+}
+
+func TestDeterministicPackageSet(t *testing.T) {
+	for _, p := range []string{
+		"tcpstall/internal/sim", "tcpstall/internal/tcpsim",
+		"tcpstall/internal/netem", "tcpstall/internal/workload",
+		"tcpstall/internal/core", "tcpstall/internal/groundtruth",
+		"tcpstall/internal/core/sub",
+	} {
+		if !lint.InDeterministicPackage(p) {
+			t.Errorf("%s should be under the deterministic contract", p)
+		}
+	}
+	for _, p := range []string{
+		"tcpstall/internal/live", "tcpstall/internal/flight",
+		"tcpstall/cmd/tapod", "tcpstall/internal/corex",
+	} {
+		if lint.InDeterministicPackage(p) {
+			t.Errorf("%s should not be under the deterministic contract", p)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package lint_test
+
+import (
+	"testing"
+
+	"tcpstall/internal/lint"
+	"tcpstall/internal/lint/linttest"
+)
+
+func TestEvpurityCoreSide(t *testing.T) {
+	linttest.Run(t, lint.Evpurity, "testdata/evpurity/coreside", "tcpstall/internal/core/coreside")
+}
+
+func TestEvpurityFlightSide(t *testing.T) {
+	linttest.Run(t, lint.Evpurity, "testdata/evpurity/flightside", "tcpstall/internal/flight/flightside")
+}
+
+func TestEvpurityOutOfScopePackagesSilent(t *testing.T) {
+	// The same guarded-mutation patterns outside core/flight (e.g. the
+	// live aggregation layer counting flight drops) are policy-free.
+	pkg, err := lint.LoadDir("testdata/evpurity/coreside", "tcpstall/internal/live/coreside")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{lint.Evpurity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("expected no findings outside core/flight, got %v", diags)
+	}
+}

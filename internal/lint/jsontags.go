@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"reflect"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Jsontags keeps the serialized surfaces consistent. Any struct that
+// opts into JSON serialization (at least one field carries a json
+// tag) must carry the complete contract:
+//
+//   - every exported, non-embedded field is tagged (or explicitly
+//     excluded with `json:"-"`) — an untagged field silently leaks a
+//     Go-cased name onto the wire;
+//   - tag names are snake_case (lowercase letters, digits,
+//     underscores, starting with a letter);
+//   - no two fields share a name;
+//   - unexported fields carry no json tag (encoding/json ignores
+//     them, so the tag is a lie).
+//
+// Structs with no json tags at all are not serialized types and are
+// left alone.
+var Jsontags = &Analyzer{
+	Name: "jsontags",
+	Doc:  "serialized structs carry complete, snake_case, duplicate-free json tags",
+	Run:  runJsontags,
+}
+
+var snakeRe = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+func runJsontags(pass *Pass) error {
+	pass.Preorder(func(n ast.Node) bool {
+		st, ok := n.(*ast.StructType)
+		if !ok || st.Fields == nil {
+			return true
+		}
+		checkStructTags(pass, st)
+		return true
+	})
+	return nil
+}
+
+func jsonTagOf(field *ast.Field) (val string, ok bool) {
+	if field.Tag == nil {
+		return "", false
+	}
+	raw, err := strconv.Unquote(field.Tag.Value)
+	if err != nil {
+		return "", false
+	}
+	return reflect.StructTag(raw).Lookup("json")
+}
+
+func checkStructTags(pass *Pass, st *ast.StructType) {
+	tagged := 0
+	for _, f := range st.Fields.List {
+		if _, ok := jsonTagOf(f); ok {
+			tagged++
+		}
+	}
+	if tagged == 0 {
+		return
+	}
+	seen := map[string]string{}
+	for _, f := range st.Fields.List {
+		val, hasTag := jsonTagOf(f)
+		if len(f.Names) == 0 {
+			// Embedded fields inline their own (already checked) tags.
+			continue
+		}
+		for _, name := range f.Names {
+			if !name.IsExported() {
+				if hasTag && val != "-" {
+					pass.Reportf(name.Pos(),
+						"json tag on unexported field %s has no effect; encoding/json skips it", name.Name)
+				}
+				continue
+			}
+			if !hasTag {
+				pass.Reportf(name.Pos(),
+					"exported field %s of a serialized struct lacks a json tag; the Go name would leak onto the wire", name.Name)
+				continue
+			}
+			tagName, _, _ := strings.Cut(val, ",")
+			switch {
+			case tagName == "-" && val == "-":
+				continue
+			case tagName == "":
+				pass.Reportf(name.Pos(),
+					"json tag on %s names no key, so the Go field name leaks onto the wire; name it explicitly", name.Name)
+				continue
+			case !snakeRe.MatchString(tagName):
+				pass.Reportf(name.Pos(), "json tag %q is not snake_case", tagName)
+			}
+			if prev, dup := seen[tagName]; dup {
+				pass.Reportf(name.Pos(), "json tag %q duplicates field %s", tagName, prev)
+			} else {
+				seen[tagName] = name.Name
+			}
+		}
+	}
+}

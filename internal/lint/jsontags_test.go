@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"tcpstall/internal/lint"
+	"tcpstall/internal/lint/linttest"
+)
+
+func TestJsontags(t *testing.T) {
+	linttest.Run(t, lint.Jsontags, "testdata/jsontags/j", "tcpstall/internal/live/j")
+}

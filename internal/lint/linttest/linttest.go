@@ -1,0 +1,83 @@
+// Package linttest runs lint analyzers against seeded testdata
+// packages, in the style of golang.org/x/tools/go/analysis/analysistest
+// but stdlib-only. A testdata package marks each expected finding
+// with a comment on the offending line:
+//
+//	seq < ack // want `wraps at 2\^32`
+//
+// Each backquoted chunk is a regexp that must match exactly one
+// finding on that line; findings with no matching want, and wants
+// with no matching finding, fail the test. Lines without a want
+// comment are false-positive guards: any finding there fails too.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"tcpstall/internal/lint"
+)
+
+var wantRe = regexp.MustCompile("`([^`]*)`")
+
+// Run loads the testdata package in dir as if it lived at asPath
+// (path-sensitive analyzers key on the import path) and checks the
+// analyzer's findings against the package's want comments.
+func Run(t *testing.T, a *lint.Analyzer, dir, asPath string) {
+	t.Helper()
+	pkg, err := lint.LoadDir(dir, asPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	type want struct {
+		re   *regexp.Regexp
+		line int
+		file string
+		hit  bool
+	}
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, m[1], err)
+					}
+					wants = append(wants, &want{re: re, line: pos.Line, file: pos.Filename})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.line == d.Pos.Line && w.file == d.Pos.Filename && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s wanted a finding matching %q, got none", fmt.Sprintf("%s:%d", w.file, w.line), w.re)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"tcpstall/internal/lint"
+	"tcpstall/internal/lint/linttest"
+)
+
+func TestLockcheck(t *testing.T) {
+	linttest.Run(t, lint.Lockcheck, "testdata/lockcheck/l", "tcpstall/internal/live/l")
+}

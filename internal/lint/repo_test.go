@@ -1,0 +1,29 @@
+package lint_test
+
+import (
+	"testing"
+
+	"tcpstall/internal/lint"
+)
+
+// TestRepoClean runs every analyzer over the whole module and requires
+// zero findings. This is the tier-1 enforcement point: reintroducing a
+// raw uint32 sequence comparison in internal/core, or a time.Now() in
+// internal/tcpsim, fails this test (and CI) even before the dedicated
+// tapolint job runs.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module; skipped in -short mode")
+	}
+	pkgs, err := lint.Load("../..", "tcpstall/...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags, err := lint.Run(pkgs, lint.Analyzers)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+	}
+}

@@ -1,0 +1,18 @@
+package lint_test
+
+import (
+	"testing"
+
+	"tcpstall/internal/lint"
+	"tcpstall/internal/lint/linttest"
+)
+
+func TestSeqsafe(t *testing.T) {
+	linttest.Run(t, lint.Seqsafe, "testdata/seqsafe/bad", "tcpstall/internal/core/seqbad")
+}
+
+func TestSeqsafeExemptsSeqspace(t *testing.T) {
+	// The same raw arithmetic inside internal/seqspace is the
+	// implementation, not a violation.
+	linttest.Run(t, lint.Seqsafe, "testdata/seqsafe/exempt", "tcpstall/internal/seqspace/exempt")
+}

@@ -1,0 +1,57 @@
+// Package det seeds detclock violations inside a deterministic
+// package path (loaded as tcpstall/internal/tcpsim/det).
+package det
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()          // want `time\.Now breaks the deterministic-run contract`
+	time.Sleep(time.Millisecond) // want `time\.Sleep breaks the deterministic-run contract`
+	return time.Since(start)     // want `time\.Since breaks the deterministic-run contract`
+}
+
+// storedDefault leaks wall time without even calling it.
+var storedDefault = time.Now // want `time\.Now breaks the deterministic-run contract`
+
+func globalRand() int {
+	return rand.Intn(10) // want `rand\.Intn breaks the deterministic-run contract`
+}
+
+func mapOrderOutput(m map[string]int) string {
+	var b strings.Builder
+	for k, v := range m {
+		fmt.Fprintf(&b, "%s=%d\n", k, v) // want `randomized iteration order`
+	}
+	return b.String()
+}
+
+// falsePositiveGuards: seeded RNGs, duration arithmetic, time.Time
+// values and the collect-then-sort idiom are all deterministic.
+func falsePositiveGuards(m map[string]int, t0 time.Time) string {
+	rng := rand.New(rand.NewSource(42)) // explicit seed: reproducible
+	_ = rng.Intn(10)
+	d := 3 * time.Second // duration arithmetic has no clock
+	_ = t0.Add(d)        // manipulating a supplied time value is fine
+
+	var keys []string
+	for k := range m { // collecting for a sort is the sanctioned shape
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%d\n", k, m[k])
+	}
+	return b.String()
+}
+
+func justified() time.Time {
+	//lint:allow detclock this helper feeds the wall-clock admin plane, not analysis
+	return time.Now()
+}

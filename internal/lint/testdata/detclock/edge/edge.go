@@ -1,0 +1,19 @@
+// Package edge stands in for a daemon/CLI package (loaded as
+// tcpstall/cmd/tapod/edge): wall clocks are legitimate there, so
+// detclock must stay silent.
+package edge
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Uptime(start time.Time) time.Duration { return time.Since(start) }
+
+func Jitter() time.Duration {
+	return time.Duration(rand.Intn(100)) * time.Millisecond
+}
+
+func Pace(d time.Duration) {
+	time.Sleep(d)
+}

@@ -1,0 +1,41 @@
+// Package flightside seeds observer-side evpurity violations (loaded
+// as tcpstall/internal/flight/flightside).
+package flightside
+
+type record struct {
+	Seq uint32
+	Len int
+}
+
+type ring struct {
+	samples []record
+	drops   map[string]int
+}
+
+// Observe copies what it is shown — the sanctioned shape.
+func (r *ring) Observe(rec *record) {
+	r.samples = append(r.samples, *rec)
+}
+
+// Mutate writes through its parameter: the analyzer's record would
+// change under it.
+func (r *ring) Mutate(rec *record) {
+	rec.Len = 0 // want `observer writes through its parameter rec`
+}
+
+// Scrub writes through a slice parameter.
+func Scrub(recs []record) {
+	recs[0] = record{} // want `observer writes through its parameter recs`
+}
+
+// Count mutates a map parameter.
+func Count(drops map[string]int) {
+	drops["x"]++ // want `observer writes through its parameter drops`
+}
+
+// Rebind only rebinds the local parameter variable — not a write
+// through it.
+func Rebind(rec *record) int {
+	rec = &record{Len: 1}
+	return rec.Len
+}

@@ -1,0 +1,33 @@
+// Package j seeds jsontags violations and false-positive guards.
+package j
+
+import "time"
+
+// Wire opts into serialization, so the whole contract applies.
+type Wire struct {
+	FlowID   string  `json:"flow_id"`
+	StartS   float64 `json:"start_s"`
+	Leak     int     // want `lacks a json tag`
+	CamelTag int     `json:"camelTag"`   // want `not snake_case`
+	Dup      int     `json:"flow_id"`    // want `duplicates field FlowID`
+	Unnamed  int     `json:",omitempty"` // want `names no key`
+	hidden   int     `json:"hidden"`     // want `json tag on unexported field`
+	Skipped  int     `json:"-"`
+}
+
+// Embedded structs inline their own contract.
+type Envelope struct {
+	Wire
+	Extra string `json:"extra"`
+}
+
+// Plain structs never serialized carry no tags and are left alone.
+type Plain struct {
+	Name    string
+	Started time.Time
+	count   int
+}
+
+func use(p Plain) int { return p.count }
+
+var _ = use(Plain{})

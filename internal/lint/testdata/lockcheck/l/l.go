@@ -1,0 +1,54 @@
+// Package l seeds lockcheck violations and false-positive guards.
+package l
+
+import "sync"
+
+type table struct {
+	mu sync.Mutex
+	// flows is the live flow map. guarded by mu
+	flows map[string]int
+	// hits counts lookups. guarded by mu
+	hits int
+	// phantom claims a guard that does not exist. guarded by gone
+	phantom int // want `no sync\.Mutex/RWMutex field "gone"`
+	// Shared documents an external contract but leaks outside the
+	// package. guarded by the owner's lock (external)
+	Shared int // want `external guarded-by contract but is exported`
+}
+
+func newTable() *table {
+	t := &table{flows: map[string]int{}}
+	t.flows["boot"] = 1 // fresh value: not yet shared, no lock needed
+	return t
+}
+
+func (t *table) lookup(id string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.hits++ // locked above: fine
+	return t.flows[id]
+}
+
+// evictLocked follows the caller-holds convention.
+func (t *table) evictLocked(id string) {
+	delete(t.flows, id)
+}
+
+func (t *table) racyRead(id string) int {
+	return t.flows[id] // want `guarded by t\.mu, which is not locked on this path`
+}
+
+func (t *table) racyCount() {
+	t.hits++ // want `guarded by t\.mu, which is not locked on this path`
+}
+
+func (t *table) wrongInstance(o *table) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return o.flows["x"] // want `o\.flows is guarded by o\.mu`
+}
+
+func (t *table) justified() int {
+	//lint:allow lockcheck snapshot tolerates torn reads by design
+	return t.hits
+}

@@ -239,12 +239,12 @@ type flowEntry struct {
 	inc       *core.Incremental
 	rec       *flight.Recorder // nil unless Config.Flight is set
 	meta      core.FlowMeta
-	el        *list.Element
-	lastSeen  time.Time
-	finOut    bool
-	finIn     bool
-	dropped   int
-	truncated bool
+	el        *list.Element // guarded by the owning shard's mu (external)
+	lastSeen  time.Time     // guarded by the owning shard's mu (external)
+	finOut    bool          // guarded by the owning shard's mu (external)
+	finIn     bool          // guarded by the owning shard's mu (external)
+	dropped   int           // guarded by the owning shard's mu (external)
+	truncated bool          // guarded by the owning shard's mu (external)
 }
 
 // shard owns one slice of the flow table. Its goroutine is the only
@@ -258,10 +258,14 @@ type shard struct {
 	// shard a hot flow is overloading.
 	ringDrops atomic.Uint64
 
-	mu    sync.Mutex
+	mu sync.Mutex
+	// flows is the live flow table. guarded by mu
 	flows map[string]*flowEntry
-	lru   list.List // front = most recently active; values are *flowEntry
-	agg   *aggregates
+	// lru orders entries front = most recently active; values are
+	// *flowEntry. guarded by mu
+	lru list.List
+	// agg folds per-shard counters and stall aggregates. guarded by mu
+	agg *aggregates
 }
 
 func (sh *shard) run() {
@@ -318,7 +322,7 @@ func (sh *shard) process(ev *trace.RecordEvent) {
 			},
 		}
 		e.inc.SetMeta(e.meta)
-		e.inc.OnStall = sh.stallClosed
+		e.inc.OnStall = sh.stallClosedLocked
 		if sh.m.cfg.Flight != nil {
 			e.rec = flight.NewRecorder(*sh.m.cfg.Flight)
 			e.inc.SetRecorder(e.rec)
@@ -377,8 +381,9 @@ func observeTeardown(e *flowEntry, ev *trace.RecordEvent) bool {
 	return false
 }
 
-// stallClosed runs synchronously inside Feed (shard locked).
-func (sh *shard) stallClosed(ls core.LiveStall) {
+// stallClosedLocked runs synchronously inside Feed; the caller (the
+// shard goroutine, via process) holds sh.mu.
+func (sh *shard) stallClosedLocked(ls core.LiveStall) {
 	sh.agg.stallClosed(sh.m.cfg.Clock(), ls)
 	sh.m.recent.push(ls)
 	if sh.m.cfg.OnStall != nil {
@@ -430,10 +435,13 @@ func (m *Monitor) SweepIdle() {
 
 // stallRing keeps the most recent stall events for the admin plane.
 type stallRing struct {
-	mu   sync.Mutex
-	buf  []core.LiveStall
+	mu sync.Mutex
+	// buf is the fixed ring storage. guarded by mu
+	buf []core.LiveStall
+	// next is the slot the next push lands in. guarded by mu
 	next int
-	n    int
+	// n is the number of live entries. guarded by mu
+	n int
 }
 
 func (r *stallRing) push(ls core.LiveStall) {

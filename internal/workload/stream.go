@@ -121,6 +121,11 @@ func streamOne(ctx context.Context, svc Service, seed int64, idx int, opt Stream
 	bc.conn.OnDone = func(*tcpsim.ConnMetrics) { done = true }
 	bc.conn.Start()
 
+	// The wall-clock reads below are the point of this function: it
+	// replays virtual-time events at real-time speed for the live
+	// monitor demo. Flow contents stay seed-deterministic; only the
+	// pacing (opt.Speed > 0, off in every test) touches the clock.
+	//lint:allow detclock real-time pacing of the live event stream
 	wallStart := time.Now()
 	for !done && ctx.Err() == nil {
 		at, ok := bc.s.NextAt()
@@ -129,8 +134,10 @@ func streamOne(ctx context.Context, svc Service, seed int64, idx int, opt Stream
 		}
 		if opt.Speed > 0 {
 			target := wallStart.Add(time.Duration(float64(at) / opt.Speed))
+			//lint:allow detclock real-time pacing of the live event stream
 			if d := time.Until(target); d > 0 {
 				select {
+				//lint:allow detclock real-time pacing of the live event stream
 				case <-time.After(d):
 				case <-ctx.Done():
 					return es.count
