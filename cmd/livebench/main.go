@@ -8,12 +8,17 @@
 //     NewIncremental Feed/Flush over the same flows — the streaming
 //     analyzer's overhead relative to the batch path it reimplements;
 //   - flight overhead: the incremental analyzer with a flight
-//     recorder attached versus without — the price of evidence.
+//     recorder attached versus without — the price of evidence;
+//   - triage speedup: two-phase triage versus always-on analysis on a
+//     healthy-heavy traffic mix (the paper's regime: stalls are rare
+//     events buried in massive healthy traffic).
 //
 // Gates (each exits non-zero when violated):
 //
 //	-min-rate N          monitor throughput floor (CI smoke)
 //	-flight-min-rate N   recorder-enabled throughput floor
+//	-triage-min-ratio F  triage speedup floor on the healthy-heavy mix
+//	                     (CI uses 3)
 //	-baseline FILE       compare against a previous BENCH_live.json:
 //	-max-regress F       fail when incremental (recorder disabled)
 //	                     throughput regressed more than F (e.g. 0.02)
@@ -40,6 +45,7 @@ import (
 	"tcpstall/internal/live"
 	"tcpstall/internal/stats"
 	"tcpstall/internal/trace"
+	"tcpstall/internal/triage"
 	"tcpstall/internal/workload"
 )
 
@@ -63,6 +69,26 @@ type result struct {
 	// how much slower evidence capture makes the analyzer.
 	FlightRecordsPerSec float64 `json:"flight_records_per_sec"`
 	FlightOverhead      float64 `json:"flight_overhead_ratio"`
+
+	// Healthy-heavy triage scenario: the same monitor fed a traffic
+	// mix that is overwhelmingly pathology-free (workload.Healthy)
+	// with a thin slice of standard sick flows — the regime two-phase
+	// triage exists for. TriageRecordsPerSec runs with triage on,
+	// MixMonitorRecordsPerSec always-on over the identical events;
+	// TriageSpeedup is their ratio (CI gates it ≥ 3).
+	MixFlows                int     `json:"mix_flows"`
+	MixRecords              int     `json:"mix_records"`
+	TriageRecordsPerSec     float64 `json:"triage_records_per_sec"`
+	MixMonitorRecordsPerSec float64 `json:"mix_monitor_records_per_sec"`
+	// TriageOverMonitor is the gated ratio: triage throughput on the
+	// healthy-heavy mix over the always-on monitor_records_per_sec
+	// baseline above (CI requires ≥ 3). TriageSpeedup isolates the
+	// two-phase split itself: always-on over the identical mix through
+	// the identical batch-ingest path.
+	TriageOverMonitor         float64 `json:"triage_over_monitor_ratio"`
+	TriageSpeedup             float64 `json:"triage_speedup_ratio"`
+	TriagePromotionRate       float64 `json:"triage_promotion_rate"`
+	TriageTruncatedPromotions uint64  `json:"triage_truncated_promotions"`
 }
 
 func main() {
@@ -70,6 +96,7 @@ func main() {
 	out := flag.String("out", "", "write the JSON result to this file (default stdout only)")
 	minRate := flag.Float64("min-rate", 0, "exit non-zero when monitor records/sec is below this")
 	flightMinRate := flag.Float64("flight-min-rate", 0, "exit non-zero when recorder-enabled records/sec is below this")
+	triageMinRatio := flag.Float64("triage-min-ratio", 0, "exit non-zero when healthy-heavy triage records/sec is below this multiple of the always-on monitor baseline")
 	baseline := flag.String("baseline", "", "compare against this previous BENCH_live.json")
 	maxRegress := flag.Float64("max-regress", 0.02, "with -baseline: max allowed fractional regression of recorder-disabled incremental throughput")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
@@ -118,6 +145,27 @@ func main() {
 		res.FlightOverhead = res.IncrementalRecordsPerSec / res.FlightRecordsPerSec
 	}
 
+	mixEvents, mixFlows := healthyHeavyMix(perSvc, *quick)
+	res.MixFlows, res.MixRecords = mixFlows, len(mixEvents)
+	logger.Info("healthy-heavy mix ready", "flows", mixFlows, "records", len(mixEvents))
+	var snap live.Snapshot
+	res.TriageRecordsPerSec, snap = benchMix(mixEvents, reps, true)
+	res.MixMonitorRecordsPerSec, _ = benchMix(mixEvents, reps, false)
+	if res.MixMonitorRecordsPerSec > 0 {
+		res.TriageSpeedup = res.TriageRecordsPerSec / res.MixMonitorRecordsPerSec
+	}
+	if res.MonitorRecordsPerSec > 0 {
+		res.TriageOverMonitor = res.TriageRecordsPerSec / res.MonitorRecordsPerSec
+	}
+	var promotions uint64
+	for _, n := range snap.TriagePromotions {
+		promotions += n
+	}
+	if snap.FlowsSeen > 0 {
+		res.TriagePromotionRate = float64(promotions-snap.TriageRepromotions) / float64(snap.FlowsSeen)
+	}
+	res.TriageTruncatedPromotions = snap.TriageTruncatedPromotions
+
 	b, _ := json.MarshalIndent(&res, "", "  ")
 	fmt.Println(string(b))
 	if *out != "" {
@@ -136,6 +184,13 @@ func main() {
 	if *flightMinRate > 0 && res.FlightRecordsPerSec < *flightMinRate {
 		logger.Error("FAIL recorder-enabled throughput below floor",
 			"records_per_sec", res.FlightRecordsPerSec, "floor", *flightMinRate)
+		fail = true
+	}
+	if *triageMinRatio > 0 && res.TriageOverMonitor < *triageMinRatio {
+		logger.Error("FAIL triage throughput below floor on the healthy-heavy mix",
+			"triage_records_per_sec", res.TriageRecordsPerSec,
+			"monitor_records_per_sec", res.MonitorRecordsPerSec,
+			"ratio", res.TriageOverMonitor, "floor", *triageMinRatio)
 		fail = true
 	}
 	if *baseline != "" && !checkBaseline(logger, *baseline, &res, *maxRegress) {
@@ -221,6 +276,82 @@ func benchMonitor(events []trace.RecordEvent, reps int) (rate, elapsedMS, p50us,
 	}
 	rate = float64(len(events)) / best.Seconds()
 	return rate, float64(best) / float64(time.Millisecond), lat.Quantile(0.50), lat.Quantile(0.99)
+}
+
+// healthyHeavyMix builds the triage benchmark's traffic: for every
+// service, a large population of pathology-free flows
+// (workload.Healthy) plus ~3% standard sick flows, their records
+// interleaved round-robin so every shard sees the mix.
+func healthyHeavyMix(perSvc int, quick bool) ([]trace.RecordEvent, int) {
+	healthyPer := perSvc * 4
+	sickPer := healthyPer / 32
+	if sickPer < 1 {
+		sickPer = 1
+	}
+	var flows []*trace.Flow
+	for _, svc := range workload.Services() {
+		for _, fr := range workload.Generate(workload.Healthy(svc), 13, workload.GenOptions{Flows: healthyPer}) {
+			if len(fr.Flow.Records) > 0 {
+				flows = append(flows, fr.Flow)
+			}
+		}
+		for _, fr := range workload.Generate(svc, 17, workload.GenOptions{Flows: sickPer}) {
+			if len(fr.Flow.Records) > 0 {
+				flows = append(flows, fr.Flow)
+			}
+		}
+	}
+	var evs []trace.RecordEvent
+	for round := 0; ; round++ {
+		fed := false
+		for _, f := range flows {
+			if round < len(f.Records) {
+				evs = append(evs, trace.RecordEvent{
+					FlowID:   f.ID,
+					Service:  f.Service,
+					MSS:      f.MSS,
+					InitRwnd: f.InitRwnd,
+					Rec:      f.Records[round],
+				})
+				fed = true
+			}
+		}
+		if !fed {
+			break
+		}
+	}
+	return evs, len(flows)
+}
+
+// benchMix pushes the healthy-heavy events through a Monitor reps
+// times — triage two-phase or always-on — reporting the best run's
+// throughput and the final run's counter snapshot.
+func benchMix(events []trace.RecordEvent, reps int, triaged bool) (rate float64, snap live.Snapshot) {
+	best := time.Duration(1 << 62)
+	for r := 0; r < reps; r++ {
+		cfg := live.Config{RingSize: 1 << 14}
+		if triaged {
+			cfg.Triage = &triage.Config{}
+		}
+		m := live.New(cfg)
+		m.Start()
+		const chunk = 512
+		start := time.Now()
+		for i := 0; i < len(events); i += chunk {
+			end := i + chunk
+			if end > len(events) {
+				end = len(events)
+			}
+			m.IngestBatchWait(events[i:end])
+		}
+		feed := time.Since(start)
+		m.Close()
+		if feed < best {
+			best = feed
+		}
+		snap = m.Snapshot()
+	}
+	return float64(len(events)) / best.Seconds(), snap
 }
 
 func benchBatch(flows []*trace.Flow, reps int) float64 {

@@ -11,6 +11,12 @@
 //	tapod -gen web-search [-flows 200]     synthesize live traffic from
 //	                                       a service model
 //
+// Two-phase triage (-triage, default on for -gen sources) keeps
+// healthy flows on a cheap fast path — a handful of counters plus a
+// bounded ring of recent records — and promotes a flow to the full
+// incremental analyzer only when a stall symptom fires, replaying the
+// ring so verdicts stay byte-identical to always-on analysis.
+//
 // Memory is bounded end to end: the flow table caps active flows (LRU
 // eviction), every flow caps its analyzer records, and the per-shard
 // ingest rings cap queued packets; every drop is counted in /metrics.
@@ -46,6 +52,7 @@ import (
 	"tcpstall/internal/flight"
 	"tcpstall/internal/live"
 	"tcpstall/internal/trace"
+	"tcpstall/internal/triage"
 	"tcpstall/internal/workload"
 )
 
@@ -66,6 +73,8 @@ func main() {
 	window := flag.Duration("window", time.Minute, "rolling aggregation window")
 	ringSize := flag.Int("ring", 0, "per-shard ingest ring size (0: default 4096)")
 	shed := flag.Bool("shed", false, "drop records when rings fill instead of applying backpressure")
+	triageMode := flag.String("triage", "auto", "two-phase triage: on, off, or auto (on with -gen, off with -pcap)")
+	triageRing := flag.Int("triage-ring", 0, "triage per-flow ring of recent records (0: default 1024)")
 	flightOn := flag.Bool("flight", true, "attach a flight recorder to every flow (serves /debug/flows/{id}/trace)")
 	flightK := flag.Int("flight-k", 0, "flight packet-window radius around each stall gap (0: default)")
 	flightRing := flag.Int("flight-ring", 0, "flight event-ring size per flow (0: default)")
@@ -101,6 +110,19 @@ func main() {
 	}
 	if *flightOn {
 		lcfg.Flight = &flight.Config{WindowK: *flightK, RingSize: *flightRing}
+	}
+	// Triage defaults on for live generation (the healthy-heavy case it
+	// exists for) and off for pcap replay, where full always-on
+	// analysis of a finite capture is usually what's wanted.
+	switch *triageMode {
+	case "on", "auto":
+		if *triageMode == "on" || *gen != "" {
+			lcfg.Triage = &triage.Config{RingCap: *triageRing}
+		}
+	case "off":
+	default:
+		fmt.Fprintf(os.Stderr, "tapod: -triage must be on, off or auto (got %q)\n", *triageMode)
+		os.Exit(2)
 	}
 	m := live.New(lcfg)
 	m.Start()
@@ -276,6 +298,17 @@ func report(m *live.Monitor) {
 		"flows_truncated":  s.FlowsTruncated,
 		"stalls":           stalls,
 		"retransmission":   retrans,
+	}
+	if s.TriageFastRecords > 0 || len(s.TriagePromotions) > 0 {
+		out["triage"] = map[string]any{
+			"fast_records":         s.TriageFastRecords,
+			"promotions":           s.TriagePromotions,
+			"repromotions":         s.TriageRepromotions,
+			"demotions":            s.TriageDemotions,
+			"truncated_promotions": s.TriageTruncatedPromotions,
+			"promoted_flows":       s.PromotedFlows,
+			"parked_flows":         s.ParkedFlows,
+		}
 	}
 	if s.DurationsMS != nil && s.DurationsMS.N() > 0 {
 		out["stall_duration_ms"] = map[string]any{

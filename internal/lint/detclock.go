@@ -37,6 +37,11 @@ var detPackages = []string{
 	"internal/workload",
 	"internal/core",
 	"internal/groundtruth",
+	// The triage fast path sits on the line-rate record path but is
+	// pure record-time logic: its promotion decisions must replay
+	// bit-identically from a trace, so it is bound like the analyzer
+	// even though its caller (internal/live) is not.
+	"internal/triage",
 }
 
 // InDeterministicPackage reports whether pkgPath is bound by the

@@ -11,6 +11,12 @@ func TestDetclock(t *testing.T) {
 	linttest.Run(t, lint.Detclock, "testdata/detclock/det", "tcpstall/internal/tcpsim/det")
 }
 
+func TestDetclockTriage(t *testing.T) {
+	// The triage fast path joined the deterministic set: wall-clock
+	// promotion deadlines or sampled demotions must be flagged there.
+	linttest.Run(t, lint.Detclock, "testdata/detclock/triage", "tcpstall/internal/triage/triage")
+}
+
 func TestDetclockSkipsDaemonEdges(t *testing.T) {
 	// The daemon/CLI layers legitimately pace against the wall clock;
 	// the same calls there are silent.
@@ -22,7 +28,7 @@ func TestDeterministicPackageSet(t *testing.T) {
 		"tcpstall/internal/sim", "tcpstall/internal/tcpsim",
 		"tcpstall/internal/netem", "tcpstall/internal/workload",
 		"tcpstall/internal/core", "tcpstall/internal/groundtruth",
-		"tcpstall/internal/core/sub",
+		"tcpstall/internal/triage", "tcpstall/internal/core/sub",
 	} {
 		if !lint.InDeterministicPackage(p) {
 			t.Errorf("%s should be under the deterministic contract", p)

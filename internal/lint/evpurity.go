@@ -32,6 +32,12 @@ import (
 // pointers into live analyzer state (records, trails). They must
 // not write through any pointer/slice/map parameter — a Recorder
 // mutates only itself.
+//
+// Triage side (internal/triage): the fast path observes every record
+// the monitor will later replay into the full analyzer. Observe and
+// its helpers get the same contract as flight observers — copy into
+// the ring, never write through the record — or replay would feed
+// the analyzer records the fast path had silently rewritten.
 var Evpurity = &Analyzer{
 	Name: "evpurity",
 	Doc:  "flight observers must not mutate analyzer state; recorder-guarded code must not steer analysis",
@@ -40,7 +46,8 @@ var Evpurity = &Analyzer{
 
 func runEvpurity(pass *Pass) error {
 	switch {
-	case pkgIs(pass.Pkg.Path(), modulePkg("internal/flight")):
+	case pkgIs(pass.Pkg.Path(), modulePkg("internal/flight")),
+		pkgIs(pass.Pkg.Path(), modulePkg("internal/triage")):
 		checkObserverParams(pass)
 	case pkgIs(pass.Pkg.Path(), modulePkg("internal/core")):
 		checkRecorderGuards(pass)

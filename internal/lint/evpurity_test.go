@@ -15,6 +15,26 @@ func TestEvpurityFlightSide(t *testing.T) {
 	linttest.Run(t, lint.Evpurity, "testdata/evpurity/flightside", "tcpstall/internal/flight/flightside")
 }
 
+func TestEvpurityTriageSide(t *testing.T) {
+	linttest.Run(t, lint.Evpurity, "testdata/evpurity/triageside", "tcpstall/internal/triage/triageside")
+}
+
+func TestEvpurityOutOfScopePagesSilentGuard(t *testing.T) {
+	// The triageside patterns outside the triage path (e.g. under
+	// internal/live) stay policy-free.
+	pkg, err := lint.LoadDir("testdata/evpurity/triageside", "tcpstall/internal/live/triageside")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{lint.Evpurity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("expected no findings outside triage, got %v", diags)
+	}
+}
+
 func TestEvpurityOutOfScopePackagesSilent(t *testing.T) {
 	// The same guarded-mutation patterns outside core/flight (e.g. the
 	// live aggregation layer counting flight drops) are policy-free.

@@ -1,0 +1,42 @@
+// Package triage seeds detclock violations inside the triage fast
+// path's package tree (loaded as tcpstall/internal/triage/triage):
+// promotion decisions must be a pure function of record time, never
+// of the wall clock or ambient randomness.
+package triage
+
+import (
+	"math/rand"
+	"time"
+)
+
+type flow struct {
+	lastT    time.Duration
+	lastSymT time.Duration
+}
+
+// promoteOnWallQuiet decides promotion against the daemon's wall
+// clock instead of record time — a replayed trace would promote
+// different flows depending on the machine's load.
+func (f *flow) promoteOnWallQuiet() bool {
+	deadline := time.Now() // want `time\.Now breaks the deterministic-run contract`
+	_ = deadline
+	select {
+	case <-time.After(time.Millisecond): // want `time\.After breaks the deterministic-run contract`
+		return true
+	default:
+	}
+	return false
+}
+
+// sampledDemotion demotes a random subset of quiet flows — the
+// cardinal sin for a path whose equivalence proof needs every record
+// to take the same branch on every run.
+func (f *flow) sampledDemotion() bool {
+	return rand.Float64() < 0.01 // want `rand\.Float64 breaks the deterministic-run contract`
+}
+
+// recordTimeOnly is the sanctioned shape: thresholds and quiet spells
+// are plain duration arithmetic over record timestamps.
+func (f *flow) recordTimeOnly(now time.Duration, threshold time.Duration) bool {
+	return now-f.lastT > threshold // duration arithmetic has no clock
+}

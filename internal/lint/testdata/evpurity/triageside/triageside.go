@@ -1,0 +1,40 @@
+// Package triageside seeds triage-side evpurity violations (loaded
+// as tcpstall/internal/triage/triageside). The fast path buffers the
+// records the monitor later replays into the full analyzer, so like
+// a flight observer it must copy what it is shown and never write
+// through the record.
+package triageside
+
+type record struct {
+	Seq uint32
+	Len int
+}
+
+type ring struct {
+	slots []record
+	head  int
+}
+
+// Observe copies the record into the ring — the sanctioned shape.
+func (r *ring) Observe(rec *record) {
+	r.slots = append(r.slots, *rec)
+}
+
+// Normalize rewrites the record in place before buffering it: replay
+// would feed the analyzer a record the wire never carried.
+func (r *ring) Normalize(rec *record) {
+	rec.Len = 0 // want `observer writes through its parameter rec`
+}
+
+// CoalesceInto compacts through a slice parameter that aliases the
+// caller's backing array.
+func CoalesceInto(recs []record) {
+	recs[0] = record{} // want `observer writes through its parameter recs`
+}
+
+// Rebind only rebinds the parameter variable to a fresh record — not
+// a write through the caller's pointer.
+func Rebind(rec *record) int {
+	rec = &record{Len: 1}
+	return rec.Len
+}

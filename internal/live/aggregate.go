@@ -38,6 +38,18 @@ type aggregates struct {
 	flightEventDrops    uint64
 	flightEvidenceDrops uint64
 
+	// Two-phase triage accounting (all zero when Config.Triage is
+	// nil). triFastRecords counts records handled by the fast path;
+	// triPromotions counts promotions by symptom name, of which
+	// triRepromotions re-attached a parked analyzer and
+	// triTruncatedPromotions replayed from a ring that had already
+	// dropped history.
+	triFastRecords         uint64
+	triPromotions          map[string]uint64
+	triRepromotions        uint64
+	triDemotions           uint64
+	triTruncatedPromotions uint64
+
 	stallCount   map[CauseKey]uint64
 	stallSeconds map[CauseKey]float64
 	durationsMS  *stats.Histogram
@@ -51,6 +63,7 @@ type aggregates struct {
 func newAggregates(window time.Duration, buckets int) *aggregates {
 	return &aggregates{
 		flowsEvicted:   map[string]uint64{},
+		triPromotions:  map[string]uint64{},
 		stallCount:     map[CauseKey]uint64{},
 		stallSeconds:   map[CauseKey]float64{},
 		durationsMS:    stats.NewHistogram(DurationBoundsMS),
@@ -97,6 +110,13 @@ func (ag *aggregates) merge(o *aggregates) {
 	ag.recordsCapDrop += o.recordsCapDrop
 	ag.flightEventDrops += o.flightEventDrops
 	ag.flightEvidenceDrops += o.flightEvidenceDrops
+	ag.triFastRecords += o.triFastRecords
+	ag.triRepromotions += o.triRepromotions
+	ag.triDemotions += o.triDemotions
+	ag.triTruncatedPromotions += o.triTruncatedPromotions
+	for s, n := range o.triPromotions {
+		ag.triPromotions[s] += n
+	}
 	for r, n := range o.flowsEvicted {
 		ag.flowsEvicted[r] += n
 	}

@@ -83,7 +83,7 @@ func NewHandler(m *Monitor) http.Handler {
 	})
 	mux.HandleFunc("GET /config", func(w http.ResponseWriter, r *http.Request) {
 		cfg := m.Config()
-		writeJSON(w, map[string]any{
+		out := map[string]any{
 			"shards":               cfg.Shards,
 			"max_flows":            cfg.MaxFlows,
 			"max_records_per_flow": cfg.MaxRecordsPerFlow,
@@ -99,7 +99,18 @@ func NewHandler(m *Monitor) http.Handler {
 				"init_rto":   cfg.Analysis.InitRTO.String(),
 				"min_rto":    cfg.Analysis.MinRTO.String(),
 			},
-		})
+		}
+		if cfg.Triage != nil {
+			out["triage"] = map[string]any{
+				"ring_cap":     cfg.Triage.RingCap,
+				"tau":          cfg.Triage.Tau,
+				"min_rto":      cfg.Triage.MinRTO.String(),
+				"init_rto":     cfg.Triage.InitRTO.String(),
+				"dup_burst":    cfg.Triage.DupBurst,
+				"demote_after": cfg.Triage.DemoteAfter.String(),
+			}
+		}
+		writeJSON(w, out)
 	})
 	return mux
 }
@@ -199,6 +210,36 @@ func writeMetrics(w io.Writer, s Snapshot) {
 	p("# HELP tapod_records_fed_total Records fed into per-flow analyzers.\n")
 	p("# TYPE tapod_records_fed_total counter\n")
 	p("tapod_records_fed_total %d\n", s.RecordsFed)
+
+	p("# HELP tapod_triage_records_total Records handled by the triage fast path.\n")
+	p("# TYPE tapod_triage_records_total counter\n")
+	p("tapod_triage_records_total %d\n", s.TriageFastRecords)
+
+	p("# HELP tapod_triage_promotions_total Flow promotions to full analysis, by symptom.\n")
+	p("# TYPE tapod_triage_promotions_total counter\n")
+	for _, sym := range sortedKeys(s.TriagePromotions) {
+		p("tapod_triage_promotions_total{symptom=%q} %d\n", sym, s.TriagePromotions[sym])
+	}
+
+	p("# HELP tapod_triage_repromotions_total Promotions that re-attached a parked analyzer.\n")
+	p("# TYPE tapod_triage_repromotions_total counter\n")
+	p("tapod_triage_repromotions_total %d\n", s.TriageRepromotions)
+
+	p("# HELP tapod_triage_demotions_total Promoted flows parked after staying symptom-free.\n")
+	p("# TYPE tapod_triage_demotions_total counter\n")
+	p("tapod_triage_demotions_total %d\n", s.TriageDemotions)
+
+	p("# HELP tapod_triage_truncated_promotions_total Promotions whose symptom evidence predated the record ring (replayed from ring start).\n")
+	p("# TYPE tapod_triage_truncated_promotions_total counter\n")
+	p("tapod_triage_truncated_promotions_total %d\n", s.TriageTruncatedPromotions)
+
+	p("# HELP tapod_triage_promoted_flows Live flows currently promoted to full analysis.\n")
+	p("# TYPE tapod_triage_promoted_flows gauge\n")
+	p("tapod_triage_promoted_flows %d\n", s.PromotedFlows)
+
+	p("# HELP tapod_triage_parked_flows Live flows holding a demoted (parked) analyzer.\n")
+	p("# TYPE tapod_triage_parked_flows gauge\n")
+	p("tapod_triage_parked_flows %d\n", s.ParkedFlows)
 
 	p("# HELP tapod_flows_active Flows currently tracked.\n")
 	p("# TYPE tapod_flows_active gauge\n")

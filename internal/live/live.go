@@ -28,6 +28,7 @@ import (
 	"tcpstall/internal/stats"
 	"tcpstall/internal/tcpsim"
 	"tcpstall/internal/trace"
+	"tcpstall/internal/triage"
 )
 
 // Eviction reasons, as they appear in metrics labels.
@@ -78,6 +79,17 @@ type Config struct {
 	// flow, so /debug/flows/{id}/trace can serve per-stall evidence.
 	// Nil keeps the analyzers on their zero-overhead path.
 	Flight *flight.Config
+	// Triage, when non-nil, enables two-phase monitoring: every flow
+	// starts on the triage fast path (counters plus a bounded ring of
+	// recent records, no scoreboard) and is promoted to a full
+	// analyzer — the ring replayed so the analyzer sees the exact
+	// history — only when a stall symptom fires. A promoted flow that
+	// stays symptom-free for Triage.DemoteAfter parks its analyzer;
+	// repromotion replays the parked suffix into the same analyzer,
+	// so verdicts stay byte-identical to always-on analysis whenever
+	// the ring is deep enough. Zero fields inherit the documented
+	// triage defaults, with Tau/MinRTO/InitRTO mirroring Analysis.
+	Triage *triage.Config
 	// Clock supplies wall time (default time.Now; injectable for
 	// tests).
 	Clock func() time.Time
@@ -121,6 +133,27 @@ func (c *Config) defaults() {
 	if c.Clock == nil {
 		c.Clock = time.Now
 	}
+	if c.Triage != nil {
+		// The fast path's conservative thresholds must mirror the
+		// analyzer configuration actually in use, or the
+		// no-missed-stall argument breaks.
+		eff := c.Analysis
+		if eff.Tau <= 0 {
+			eff = core.DefaultConfig()
+		}
+		t := *c.Triage
+		if t.Tau <= 0 {
+			t.Tau = eff.Tau
+		}
+		if t.MinRTO <= 0 {
+			t.MinRTO = eff.MinRTO
+		}
+		if t.InitRTO <= 0 {
+			t.InitRTO = eff.InitRTO
+		}
+		t = t.WithDefaults()
+		c.Triage = &t
+	}
 }
 
 // Monitor is the live flow table. Create with New, Start, feed with
@@ -152,6 +185,7 @@ func New(cfg Config) *Monitor {
 		m.shards = append(m.shards, &shard{
 			m:        m,
 			in:       make(chan trace.RecordEvent, cfg.RingSize),
+			inb:      make(chan []trace.RecordEvent, 64),
 			flows:    map[string]*flowEntry{},
 			maxFlows: perShard,
 			agg:      newAggregates(cfg.Window, cfg.WindowBuckets),
@@ -177,12 +211,16 @@ func (m *Monitor) Start() {
 
 // shardOf maps a flow ID onto its shard (FNV-1a).
 func (m *Monitor) shardOf(id string) *shard {
+	return m.shards[m.shardIdx(id)]
+}
+
+func (m *Monitor) shardIdx(id string) int {
 	h := uint32(2166136261)
 	for i := 0; i < len(id); i++ {
 		h ^= uint32(id[i])
 		h *= 16777619
 	}
-	return m.shards[h%uint32(len(m.shards))]
+	return int(h % uint32(len(m.shards)))
 }
 
 // Ingest offers one record without blocking. It reports false — and
@@ -219,6 +257,45 @@ func (m *Monitor) IngestWait(ev trace.RecordEvent) bool {
 	return true
 }
 
+// IngestBatchWait queues a slice of records in one pass, blocking
+// like IngestWait: events are grouped by shard (order preserved
+// within each flow) and handed over one channel operation per shard
+// instead of per record — the line-rate intake path for replay and
+// generation sources that produce records faster than a per-record
+// channel hop can move them. The caller keeps ownership of evs; its
+// contents are copied. Records of one flow must not be split between
+// concurrent IngestBatchWait calls or mixed with per-record Ingest
+// calls, or their relative order is undefined. It reports false only
+// when the monitor is closed.
+func (m *Monitor) IngestBatchWait(evs []trace.RecordEvent) bool {
+	if len(evs) == 0 {
+		return true
+	}
+	if m.closed.Load() {
+		m.ringDrops.Add(uint64(len(evs)))
+		return false
+	}
+	if len(m.shards) == 1 {
+		b := make([]trace.RecordEvent, len(evs))
+		copy(b, evs)
+		m.shards[0].inb <- b
+		m.ingested.Add(uint64(len(evs)))
+		return true
+	}
+	bufs := make([][]trace.RecordEvent, len(m.shards))
+	for i := range evs {
+		s := m.shardIdx(evs[i].FlowID)
+		bufs[s] = append(bufs[s], evs[i])
+	}
+	for s, b := range bufs {
+		if len(b) > 0 {
+			m.shards[s].inb <- b
+		}
+	}
+	m.ingested.Add(uint64(len(evs)))
+	return true
+}
+
 // Close stops intake, drains the rings, flushes every remaining flow
 // (reason "shutdown") and waits for the shard workers to exit.
 func (m *Monitor) Close() {
@@ -227,17 +304,23 @@ func (m *Monitor) Close() {
 	}
 	for _, sh := range m.shards {
 		close(sh.in)
+		close(sh.inb)
 	}
 	if m.started.Load() {
 		m.wg.Wait()
 	}
 }
 
-// flowEntry is one live flow's state, owned by its shard.
+// flowEntry is one live flow's state, owned by its shard. In triage
+// mode inc is nil until the flow's first promotion; once created it
+// survives demotion (parked, so repromotion replays into warm state)
+// until eviction.
 type flowEntry struct {
 	id        string
-	inc       *core.Incremental
-	rec       *flight.Recorder // nil unless Config.Flight is set
+	inc       *core.Incremental // guarded by the owning shard's mu (external)
+	rec       *flight.Recorder  // nil unless Config.Flight is set
+	tri       *triage.Flow      // guarded by the owning shard's mu (external)
+	promoted  bool              // guarded by the owning shard's mu (external)
 	meta      core.FlowMeta
 	el        *list.Element // guarded by the owning shard's mu (external)
 	lastSeen  time.Time     // guarded by the owning shard's mu (external)
@@ -250,8 +333,11 @@ type flowEntry struct {
 // shard owns one slice of the flow table. Its goroutine is the only
 // writer; Snapshot and the admin plane read under mu.
 type shard struct {
-	m        *Monitor
-	in       chan trace.RecordEvent
+	m  *Monitor
+	in chan trace.RecordEvent
+	// inb carries pre-grouped event batches (IngestBatchWait): one
+	// channel operation per batch instead of per record.
+	inb      chan []trace.RecordEvent
 	maxFlows int
 	// ringDrops counts records shed at THIS shard's full ring — the
 	// per-shard split of Monitor.ringDrops, so /metrics can show which
@@ -266,7 +352,17 @@ type shard struct {
 	lru list.List
 	// agg folds per-shard counters and stall aggregates. guarded by mu
 	agg *aggregates
+	// promoted/parked count triage-mode flows with a live analyzer
+	// (actively fed / demoted but retained). guarded by mu
+	promoted int
+	parked   int
 }
+
+// drainBatch bounds how many queued events one lock acquisition may
+// process: large enough to amortize the mutex and clock read to
+// noise, small enough that Snapshot and the admin plane never wait
+// behind a full ring.
+const drainBatch = 256
 
 func (sh *shard) run() {
 	defer sh.m.wg.Done()
@@ -279,17 +375,62 @@ func (sh *shard) run() {
 				sh.drainAndShutdown()
 				return
 			}
-			sh.process(&ev)
+			// Batch drain: everything already queued behind this event
+			// is processed under one lock with one clock read — the
+			// per-record overhead that would otherwise dominate the
+			// triage fast path.
+			closed := false
+			now := sh.m.cfg.Clock()
+			sh.mu.Lock()
+			sh.processLocked(now, &ev)
+			for n := 1; n < drainBatch && !closed; n++ {
+				select {
+				case ev, ok = <-sh.in:
+					if !ok {
+						closed = true
+						break
+					}
+					sh.processLocked(now, &ev)
+				default:
+					n = drainBatch
+				}
+			}
+			sh.mu.Unlock()
+			if closed {
+				sh.drainAndShutdown()
+				return
+			}
+		case evs, ok := <-sh.inb:
+			if !ok {
+				sh.drainAndShutdown()
+				return
+			}
+			sh.processBatch(evs)
 		case <-sweep.C:
 			sh.SweepIdle()
 		}
 	}
 }
 
-// drainAndShutdown empties the ring, then evicts everything.
+// processBatch runs one pre-grouped event batch under a single lock
+// acquisition and clock read.
+func (sh *shard) processBatch(evs []trace.RecordEvent) {
+	now := sh.m.cfg.Clock()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for i := range evs {
+		sh.processLocked(now, &evs[i])
+	}
+}
+
+// drainAndShutdown empties both intake channels, then evicts
+// everything. Close closes them together, so both ranges terminate.
 func (sh *shard) drainAndShutdown() {
 	for ev := range sh.in {
 		sh.process(&ev)
+	}
+	for evs := range sh.inb {
+		sh.processBatch(evs)
 	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -304,7 +445,12 @@ func (sh *shard) process(ev *trace.RecordEvent) {
 	now := sh.m.cfg.Clock()
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	sh.processLocked(now, ev)
+}
 
+// processLocked is process with the lock held and the wall clock
+// read, so a batch drain pays for both once.
+func (sh *shard) processLocked(now time.Time, ev *trace.RecordEvent) {
 	e := sh.flows[ev.FlowID]
 	if e == nil {
 		// Admission: displace the least-recently-active flow when full.
@@ -312,8 +458,7 @@ func (sh *shard) process(ev *trace.RecordEvent) {
 			sh.evictLocked(sh.lru.Back().Value.(*flowEntry), EvictLRU)
 		}
 		e = &flowEntry{
-			id:  ev.FlowID,
-			inc: core.NewIncremental(sh.m.cfg.Analysis),
+			id: ev.FlowID,
 			meta: core.FlowMeta{
 				ID:       ev.FlowID,
 				Service:  ev.Service,
@@ -321,17 +466,26 @@ func (sh *shard) process(ev *trace.RecordEvent) {
 				InitRwnd: ev.InitRwnd,
 			},
 		}
-		e.inc.SetMeta(e.meta)
-		e.inc.OnStall = sh.stallClosedLocked
-		if sh.m.cfg.Flight != nil {
-			e.rec = flight.NewRecorder(*sh.m.cfg.Flight)
-			e.inc.SetRecorder(e.rec)
+		if sh.m.cfg.Triage != nil {
+			// Two-phase mode: the flow starts on the fast path; the
+			// analyzer is built lazily at first promotion.
+			e.tri = triage.NewFlow(*sh.m.cfg.Triage)
+		} else {
+			e.inc = core.NewIncremental(sh.m.cfg.Analysis)
+			e.inc.SetMeta(e.meta)
+			e.inc.OnStall = sh.stallClosedLocked
+			if sh.m.cfg.Flight != nil {
+				e.rec = flight.NewRecorder(*sh.m.cfg.Flight)
+				e.inc.SetRecorder(e.rec)
+			}
 		}
 		e.el = sh.lru.PushFront(e)
 		sh.flows[ev.FlowID] = e
 		sh.agg.flowsSeen++
 	} else {
-		sh.lru.MoveToFront(e.el)
+		if sh.lru.Front() != e.el {
+			sh.lru.MoveToFront(e.el)
+		}
 		// Late facts: the SYN's MSS, the client's initial window.
 		if (ev.MSS > 0 && ev.MSS != e.meta.MSS) || (ev.InitRwnd != 0 && e.meta.InitRwnd == 0) {
 			if ev.MSS > 0 {
@@ -340,18 +494,31 @@ func (sh *shard) process(ev *trace.RecordEvent) {
 			if ev.InitRwnd != 0 && e.meta.InitRwnd == 0 {
 				e.meta.InitRwnd = ev.InitRwnd
 			}
-			e.inc.SetMeta(e.meta)
+			if e.inc != nil {
+				e.inc.SetMeta(e.meta)
+			}
 		}
 	}
 	e.lastSeen = now
 
 	cap := sh.m.cfg.MaxRecordsPerFlow
-	if cap > 0 && e.inc.Records() >= cap {
+	over := false
+	if cap > 0 {
+		if e.tri != nil {
+			over = e.tri.Total() >= uint64(cap)
+		} else {
+			over = e.inc.Records() >= cap
+		}
+	}
+	switch {
+	case over:
 		// Elephant-flow guard: analysis covers the retained prefix.
 		e.truncated = true
 		e.dropped++
 		sh.agg.recordsCapDrop++
-	} else {
+	case e.tri != nil:
+		sh.processTriagedLocked(e, ev)
+	default:
 		e.inc.Feed(&ev.Rec)
 		sh.agg.recordsFed++
 	}
@@ -359,6 +526,67 @@ func (sh *shard) process(ev *trace.RecordEvent) {
 	if done := observeTeardown(e, ev); done || ev.FlowDone {
 		sh.evictLocked(e, EvictDone)
 	}
+}
+
+// processTriagedLocked runs one record of a triage-mode flow: fast path
+// first, promotion on symptom, then synchronous replay while
+// promoted. Callers hold sh.mu.
+func (sh *shard) processTriagedLocked(e *flowEntry, ev *trace.RecordEvent) {
+	sym, spill, spilled := e.tri.Observe(&ev.Rec)
+	sh.agg.triFastRecords++
+	if spilled {
+		// The ring overwrote a record the parked analyzer had not
+		// consumed: trickle-feed it so parked state stays exact at
+		// bounded lag.
+		e.inc.Feed(&spill)
+		sh.agg.recordsFed++
+	}
+	if sym != triage.SymNone && !e.promoted {
+		sh.promoteLocked(e, sym)
+	}
+	if !e.promoted {
+		return
+	}
+	e.tri.ReplayUnfed(func(r *trace.Record) {
+		e.inc.Feed(r)
+		sh.agg.recordsFed++
+	})
+	if sym == triage.SymNone && e.tri.SinceSymptom(ev.Rec.T) > sh.m.cfg.Triage.DemoteAfter {
+		// Healed: park the analyzer. Its state is retained so a later
+		// repromotion replays the buffered suffix into warm state and
+		// the stall set stays identical to always-on analysis.
+		e.promoted = false
+		sh.promoted--
+		sh.parked++
+		sh.agg.triDemotions++
+	}
+}
+
+// promoteLocked attaches a full analyzer to a symptomatic flow —
+// fresh on first promotion (flight recorder included when
+// configured), re-attached from parked state afterwards. Callers hold
+// sh.mu; the caller replays the buffered suffix right after.
+func (sh *shard) promoteLocked(e *flowEntry, sym triage.Symptom) {
+	if e.inc == nil {
+		e.inc = core.NewIncremental(sh.m.cfg.Analysis)
+		e.inc.SetMeta(e.meta)
+		e.inc.OnStall = sh.stallClosedLocked
+		if sh.m.cfg.Flight != nil {
+			e.rec = flight.NewRecorder(*sh.m.cfg.Flight)
+			e.inc.SetRecorder(e.rec)
+		}
+	} else {
+		sh.parked--
+		sh.agg.triRepromotions++
+	}
+	if e.tri.Attach() {
+		// The symptom's earliest evidence predates the ring: the
+		// analyzer replays from the ring start, conservatively.
+		sh.agg.triTruncatedPromotions++
+	}
+	e.promoted = true
+	sh.promoted++
+	sh.agg.triPromotions[sym.String()]++
 }
 
 // observeTeardown mirrors the pcap demuxer's completion rule: RST
@@ -392,10 +620,37 @@ func (sh *shard) stallClosedLocked(ls core.LiveStall) {
 }
 
 // evictLocked flushes and removes one flow. Callers hold sh.mu.
+//
+// In triage mode an ever-promoted flow may still hold buffered
+// records its analyzer has not consumed — including the records that
+// would close a pending stall. Those are replayed through the
+// analyzer BEFORE Flush, so eviction mid-stall settles the stall
+// instead of silently dropping it. A never-promoted flow is provably
+// stall-free (any stall-closing record would have raised the gap
+// symptom), so it gets a cheap synthesized summary with no replay —
+// that is the whole speedup.
 func (sh *shard) evictLocked(e *flowEntry, reason string) {
 	delete(sh.flows, e.id)
 	sh.lru.Remove(e.el)
-	a := e.inc.Flush()
+	var a *core.FlowAnalysis
+	if e.inc != nil {
+		if e.tri != nil {
+			e.tri.ReplayUnfed(func(r *trace.Record) {
+				e.inc.Feed(r)
+				sh.agg.recordsFed++
+			})
+		}
+		a = e.inc.Flush()
+	} else {
+		a = synthesizeSummary(e)
+	}
+	if e.tri != nil {
+		if e.promoted {
+			sh.promoted--
+		} else if e.inc != nil {
+			sh.parked--
+		}
+	}
 	sh.agg.flowEvicted(reason, a, e.truncated)
 	if e.rec != nil {
 		// Flight-ring truncation is settled at eviction: what the
@@ -406,6 +661,28 @@ func (sh *shard) evictLocked(e *flowEntry, reason string) {
 	if sh.m.cfg.OnFlow != nil {
 		sh.m.cfg.OnFlow(reason, a)
 	}
+}
+
+// synthesizeSummary builds the eviction analysis for a flow the fast
+// path never promoted. Such a flow provably has zero stalls — the
+// fast gap threshold lower-bounds the analyzer's at every record, so
+// a stall-closing gap would have promoted — and, having never raised
+// the retransmission symptom, every outgoing data segment advanced
+// the send edge, so the segment count equals the analyzer's
+// DataPackets. The per-ACK series (RTT samples, in_flight) are the
+// price of the fast path and stay empty.
+func synthesizeSummary(e *flowEntry) *core.FlowAnalysis {
+	a := &core.FlowAnalysis{
+		FlowID:      e.meta.ID,
+		Service:     e.meta.Service,
+		InitRwnd:    e.meta.InitRwnd,
+		DataPackets: e.tri.OutDataSegments(),
+		DataBytes:   e.tri.DataBytes(),
+	}
+	if e.tri.Total() > 1 {
+		a.TransmissionTime = e.tri.LastT().Sub(e.tri.FirstT())
+	}
+	return a
 }
 
 // SweepIdle evicts flows idle past the configured timeout. The shard
@@ -498,6 +775,18 @@ type Snapshot struct {
 	FlightEventDrops    uint64
 	FlightEvidenceDrops uint64
 
+	// Two-phase triage state (all zero when Config.Triage is nil).
+	// PromotedFlows/ParkedFlows are gauges over the live flow table;
+	// the rest are cumulative counters, promotions keyed by symptom
+	// name.
+	PromotedFlows             int
+	ParkedFlows               int
+	TriageFastRecords         uint64
+	TriagePromotions          map[string]uint64
+	TriageRepromotions        uint64
+	TriageDemotions           uint64
+	TriageTruncatedPromotions uint64
+
 	StallCount     map[CauseKey]uint64
 	StallSeconds   map[CauseKey]float64
 	DurationsMS    *stats.Histogram
@@ -518,12 +807,15 @@ func (m *Monitor) Snapshot() Snapshot {
 		DurationsMS:  stats.NewHistogram(DurationBoundsMS),
 	}
 	active := 0
+	promoted, parked := 0, 0
 	shardDrops := make([]uint64, len(m.shards))
 	for i, sh := range m.shards {
 		sh.mu.Lock()
 		total.merge(sh.agg)
 		win.mergeWindow(sh.agg.window.snapshot(now))
 		active += len(sh.flows)
+		promoted += sh.promoted
+		parked += sh.parked
 		sh.mu.Unlock()
 		shardDrops[i] = sh.ringDrops.Load()
 	}
@@ -540,6 +832,14 @@ func (m *Monitor) Snapshot() Snapshot {
 
 		FlightEventDrops:    total.flightEventDrops,
 		FlightEvidenceDrops: total.flightEvidenceDrops,
+
+		PromotedFlows:             promoted,
+		ParkedFlows:               parked,
+		TriageFastRecords:         total.triFastRecords,
+		TriagePromotions:          total.triPromotions,
+		TriageRepromotions:        total.triRepromotions,
+		TriageDemotions:           total.triDemotions,
+		TriageTruncatedPromotions: total.triTruncatedPromotions,
 
 		StallCount:     total.stallCount,
 		StallSeconds:   total.stallSeconds,
@@ -564,6 +864,15 @@ type FlowInfo struct {
 	LastT     float64   `json:"last_record_s"`
 	LastSeen  time.Time `json:"last_seen"`
 	Truncated bool      `json:"truncated,omitempty"`
+
+	// Triage-mode state: Triaged marks a flow on the two-phase path;
+	// Promoted means its full analyzer is live-fed, Parked that the
+	// analyzer is retained but demoted. LastSymptom names the most
+	// recent promotion symptom.
+	Triaged     bool   `json:"triaged,omitempty"`
+	Promoted    bool   `json:"promoted,omitempty"`
+	Parked      bool   `json:"parked,omitempty"`
+	LastSymptom string `json:"last_symptom,omitempty"`
 }
 
 // Flows lists the active flows across all shards (unordered between
@@ -581,16 +890,32 @@ func (m *Monitor) Flows() []FlowInfo {
 }
 
 func infoOf(e *flowEntry) FlowInfo {
-	return FlowInfo{
+	fi := FlowInfo{
 		ID:        e.id,
 		Service:   e.meta.Service,
-		Records:   e.inc.Records(),
-		DataBytes: e.inc.DataBytesSoFar(),
-		Stalls:    e.inc.Stalls(),
-		LastT:     sim.Time(e.inc.LastT()).Seconds(),
 		LastSeen:  e.lastSeen,
 		Truncated: e.truncated,
 	}
+	if e.tri != nil {
+		fi.Triaged = true
+		fi.Records = int(e.tri.Total())
+		fi.DataBytes = e.tri.DataBytes()
+		fi.LastT = e.tri.LastT().Seconds()
+		fi.Promoted = e.promoted
+		fi.Parked = !e.promoted && e.inc != nil
+		if s := e.tri.LastSymptom(); s != triage.SymNone {
+			fi.LastSymptom = s.String()
+		}
+		if e.inc != nil {
+			fi.Stalls = e.inc.Stalls()
+		}
+		return fi
+	}
+	fi.Records = e.inc.Records()
+	fi.DataBytes = e.inc.DataBytesSoFar()
+	fi.Stalls = e.inc.Stalls()
+	fi.LastT = sim.Time(e.inc.LastT()).Seconds()
+	return fi
 }
 
 // Flow looks up one active flow by exact ID.

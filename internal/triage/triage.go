@@ -1,0 +1,590 @@
+// Package triage implements the cheap always-on phase of two-phase
+// live monitoring. The paper's premise is that stalls are rare events
+// buried in massive healthy traffic, yet the full analyzer
+// (core.Incremental) pays a per-segment scoreboard walk on every ACK
+// of every flow. A triage.Flow instead tracks a handful of per-flow
+// counters — bytes and segments per direction, the cumulative-ACK
+// edge, a dupACK streak, a minimum-RTT estimate, the inter-record
+// idle clock — with zero per-record heap allocation and no
+// scoreboard, plus a bounded ring of recent raw records. When a stall
+// symptom fires (Observe returns non-SymNone) the caller promotes the
+// flow: the ring is replayed into a freshly constructed full analyzer
+// so it sees the exact history it would have seen always-on.
+//
+// The correctness contract is one-sided and deliberate: the fast
+// path may promote healthy flows (wasted work, never wrong answers),
+// but it must never let a flow stall without promoting it. SymGap
+// carries that guarantee — see threshold for the argument that the
+// fast gap threshold is a lower bound of the analyzer's
+// min(τ·SRTT, RTO) at every record.
+package triage
+
+import (
+	"time"
+
+	"tcpstall/internal/packet"
+	"tcpstall/internal/seqspace"
+	"tcpstall/internal/sim"
+	"tcpstall/internal/tcpsim"
+	"tcpstall/internal/trace"
+)
+
+// Symptom is the reason a flow looks sick enough for full analysis.
+type Symptom uint8
+
+// Symptoms, in detection precedence order (one per record).
+const (
+	SymNone       Symptom = iota
+	SymGap                // inter-record silence exceeded the conservative fast threshold
+	SymRetrans            // outgoing data below the send edge (retransmission or probe)
+	SymZeroWindow         // client advertised a zero receive window
+	SymDupAck             // duplicate-ACK streak reached Config.DupBurst
+	SymNoAdvance          // data outstanding, cumulative ACK pinned beyond the hold threshold
+)
+
+var symptomNames = [...]string{
+	SymNone:       "none",
+	SymGap:        "gap",
+	SymRetrans:    "retrans",
+	SymZeroWindow: "zero_window",
+	SymDupAck:     "dupack",
+	SymNoAdvance:  "no_advance",
+}
+
+func (s Symptom) String() string {
+	if int(s) < len(symptomNames) {
+		return symptomNames[s]
+	}
+	return "unknown"
+}
+
+// Config tunes the fast path. The zero value selects the documented
+// defaults; Tau/MinRTO/InitRTO should mirror the core.Config the
+// promoted analyzers run with, so the conservative-threshold argument
+// holds against the analyzer actually in use.
+type Config struct {
+	// RingCap bounds the per-flow ring of recent raw records
+	// (default 1024, minimum 2). A promotion whose symptom evidence
+	// predates the ring replays from the ring start instead of the
+	// flow start — conservative, and counted by the caller via
+	// Attach's truncated result.
+	RingCap int
+	// Tau is the analyzer's stall-threshold multiplier (default 2).
+	Tau float64
+	// MinRTO mirrors core.Config.MinRTO (default 200ms).
+	MinRTO time.Duration
+	// InitRTO mirrors core.Config.InitRTO (default 1s): the gap
+	// threshold before any RTT sample exists.
+	InitRTO time.Duration
+	// DupBurst is the duplicate-ACK streak that promotes (default 2
+	// — below the analyzer's fast-retransmit threshold of 3, so the
+	// full analyzer is watching before recovery begins).
+	DupBurst int
+	// DemoteAfter is how long (in record time) a promoted flow must
+	// stay symptom-free before the caller may park its analyzer
+	// (default 2s).
+	DemoteAfter time.Duration
+}
+
+// WithDefaults returns the configuration with the documented
+// defaults filled in (callers embedding a Config can normalize it
+// once, up front).
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
+func (c Config) withDefaults() Config {
+	if c.RingCap <= 0 {
+		c.RingCap = 1024
+	}
+	if c.RingCap < 2 {
+		// A stall is a gap between two records; the closing pair must
+		// always survive in the ring.
+		c.RingCap = 2
+	}
+	if c.Tau <= 0 {
+		c.Tau = 2
+	}
+	if c.MinRTO <= 0 {
+		c.MinRTO = 200 * time.Millisecond
+	}
+	if c.InitRTO <= 0 {
+		c.InitRTO = time.Second
+	}
+	if c.DupBurst <= 0 {
+		c.DupBurst = 2
+	}
+	if c.DemoteAfter <= 0 {
+		c.DemoteAfter = 2 * time.Second
+	}
+	return c
+}
+
+// slot is one buffered record, stored field-flat and pointer-free:
+// the rings dominate the monitor's heap in triage mode, and an array
+// the garbage collector never has to scan keeps GC cost independent
+// of how much history the fast path retains. SACK blocks are copied
+// inline (TCP option space allows at most 4), so a retained record
+// never aliases caller memory and the steady-state push allocates
+// nothing; the rare >4-block record parks its copy in the Flow's
+// overflow map.
+type slot struct {
+	t     sim.Time
+	tsVal sim.Time
+	tsEcr sim.Time
+	seq   uint32
+	ack   uint32
+	len   int32
+	wnd   int32
+	flags packet.TCPFlags
+	dir   tcpsim.Dir
+	sackN int8 // -1: overflow copy held in Flow.overflow
+	sack  [4]packet.SACKBlock
+}
+
+// Flow is one connection's fast-path state. Not safe for concurrent
+// use: the live monitor owns each Flow from a single shard goroutine.
+type Flow struct {
+	cfg Config
+
+	// Counters.
+	total       uint64
+	outSegs     uint64
+	inSegs      uint64
+	outDataSegs uint64
+	outBytes    uint64
+	inBytes     uint64
+	firstT      sim.Time
+	lastT       sim.Time
+
+	// Sequence tracking, all in unwrapped 64-bit offsets of the
+	// server's data stream (out Seq, in Ack share one space, as in
+	// the analyzer).
+	u           seqspace.Unwrapper
+	haveOut     bool
+	firstOutOff uint64
+	sndNxt      uint64
+	haveAck     bool
+	ackHi       uint64
+
+	lastAdvanceT sim.Time
+	haveOutData  bool
+	lastOutDataT sim.Time
+	dupStreak    int
+	prevWnd      int
+	haveWnd      bool
+
+	// Minimum-RTT estimate: a lower bound of the analyzer's SRTT,
+	// fed by the same handshake seed and TSEcr samples plus a
+	// send-edge surrogate (see observe).
+	minRTT     time.Duration
+	hasRTT     bool
+	synackAt   sim.Time
+	haveSynack bool
+	rttSeeded  bool
+
+	lastSym      Symptom
+	lastSymptomT sim.Time
+
+	// Ring of recent raw records: absolute indices [ringStart,
+	// total) are retained, ring[head] holds ringStart. fed is the
+	// absolute index of the next record not yet replayed into the
+	// promoted analyzer (meaningful once attached).
+	ring      []slot
+	head      int
+	ringStart uint64
+	fed       uint64
+	attached  bool
+	truncated bool
+	// spillSack backs the SACK slice of the record Observe returns
+	// when the ring overwrites an unfed record; the caller must feed
+	// it before the next Observe.
+	spillSack [4]packet.SACKBlock
+	// overflow holds the SACK copies of the rare records carrying
+	// more than 4 blocks (impossible on the wire, possible in
+	// hand-built traces), keyed by absolute record index so the ring
+	// slots stay pointer-free. Nil until first needed.
+	overflow map[uint64][]packet.SACKBlock
+}
+
+// NewFlow returns a fast-path tracker. The ring grows geometrically
+// up to cfg.RingCap as records arrive.
+func NewFlow(cfg Config) *Flow {
+	return &Flow{cfg: cfg.withDefaults()}
+}
+
+// Config reports the defaulted configuration in effect.
+func (f *Flow) Config() Config { return f.cfg }
+
+// Observe feeds one record through the fast path: it updates the
+// counters, buffers the record in the ring, and reports the stall
+// symptom the record raised (SymNone almost always). When the flow is
+// attached and the full ring had to overwrite a record the promoted
+// analyzer has not consumed yet, that record is returned as spill
+// (spilled=true) and already accounted as fed — the caller must feed
+// it to the parked analyzer before the next Observe, which keeps
+// repromotion byte-identical to always-on analysis at bounded lag.
+func (f *Flow) Observe(r *trace.Record) (sym Symptom, spill trace.Record, spilled bool) {
+	sym = f.observe(r)
+	spill, spilled = f.buffer(r)
+	f.total++
+	return sym, spill, spilled
+}
+
+// observe updates the fast state and detects symptoms. Checks run
+// against the pre-record state, exactly as the analyzer evaluates its
+// stall threshold before processing the record that closes the gap.
+func (f *Flow) observe(r *trace.Record) Symptom {
+	sym := SymNone
+	if f.total > 0 && r.T.Sub(f.lastT) > f.threshold() {
+		sym = SymGap
+	}
+	seg := &r.Seg
+	switch r.Dir {
+	case tcpsim.DirOut:
+		f.outSegs++
+		if seg.Len == 0 {
+			// Pure ACK, probe, FIN — or the SYN-ACK carrying the
+			// server's ISN, which seeds the unwrapper as in the
+			// analyzer so the first data byte lands next to it.
+			if seg.Flags.Has(packet.FlagSYN) {
+				f.u.Unwrap(seg.Seq)
+				f.synackAt = r.T
+				f.haveSynack = true
+			}
+			break
+		}
+		off := f.u.Unwrap(seg.Seq)
+		end := off + uint64(seg.Len)
+		if f.haveOut && off < f.sndNxt && sym == SymNone {
+			// Data below the send edge: a retransmission or a
+			// zero-window probe. Either way the full analyzer should
+			// be watching.
+			sym = SymRetrans
+		}
+		if !f.haveOut {
+			f.haveOut = true
+			f.firstOutOff = off
+			f.sndNxt = end
+			f.lastAdvanceT = r.T
+		} else if end > f.sndNxt {
+			f.sndNxt = end
+		}
+		f.outDataSegs++
+		f.outBytes += uint64(seg.Len)
+		f.haveOutData = true
+		f.lastOutDataT = r.T
+	case tcpsim.DirIn:
+		f.inSegs++
+		f.inBytes += uint64(seg.Len)
+		if seg.Flags.Has(packet.FlagSYN) {
+			f.prevWnd = seg.Wnd
+			f.haveWnd = true
+			break
+		}
+		// Handshake RTT seed: the first post-SYN incoming segment
+		// acknowledges the SYN-ACK — the same seed, under the same
+		// guard, as the analyzer's.
+		if !f.rttSeeded && f.haveSynack && f.synackAt > 0 {
+			f.rttSeeded = true
+			f.sample(r.T.Sub(f.synackAt))
+		}
+		if seg.Wnd == 0 && sym == SymNone {
+			sym = SymZeroWindow
+		}
+		if seg.Flags.Has(packet.FlagACK) && f.haveOut {
+			ack := f.u.Unwrap(seg.Ack)
+			switch {
+			case !f.haveAck || ack > f.ackHi:
+				f.haveAck = true
+				f.ackHi = ack
+				f.lastAdvanceT = r.T
+				f.dupStreak = 0
+				// RTT sampling. The TSEcr sample is the analyzer's
+				// own; without timestamps, the time since the most
+				// recent data send is a lower bound of the analyzer's
+				// ack-edge sample (the edge segment was sent no later
+				// than the latest segment), floored at 1ns so a
+				// same-instant burst still covers the analyzer's
+				// positive sample.
+				if seg.TSEcr > 0 {
+					f.sample(r.T.Sub(seg.TSEcr))
+				} else if f.haveOutData {
+					s := r.T.Sub(f.lastOutDataT)
+					if s <= 0 {
+						s = time.Nanosecond
+					}
+					f.sample(s)
+				}
+			case ack == f.ackHi && seg.Len == 0 && f.outstanding() &&
+				(len(seg.SACK) > 0 || seg.Wnd == f.prevWnd):
+				// The analyzer's duplicate-ACK test, minus the
+				// scoreboard: window updates don't count.
+				f.dupStreak++
+				if f.dupStreak >= f.cfg.DupBurst && sym == SymNone {
+					sym = SymDupAck
+				}
+			}
+		}
+		f.prevWnd = seg.Wnd
+		f.haveWnd = true
+	}
+	if sym == SymNone && f.haveOutData && f.outstanding() &&
+		r.T.Sub(f.lastAdvanceT) > f.noAdvanceHold() {
+		sym = SymNoAdvance
+	}
+	if f.total == 0 {
+		f.firstT = r.T
+	}
+	f.lastT = r.T
+	if sym != SymNone {
+		f.lastSym = sym
+		f.lastSymptomT = r.T
+	}
+	return sym
+}
+
+// outstanding reports whether sent data is not yet cumulatively
+// acknowledged.
+func (f *Flow) outstanding() bool {
+	return f.haveOut && (!f.haveAck || f.ackHi < f.sndNxt)
+}
+
+// threshold is the fast gap threshold, a provable lower bound of the
+// analyzer's min(τ·SRTT, RTO) at every record:
+//
+//   - minRTT ≤ SRTT: every RTT sample the analyzer takes has a fast
+//     sample ≤ it at the same record (handshake and TSEcr samples are
+//     identical; the ack-edge sample is lower-bounded by the
+//     send-edge surrogate), and SRTT is a convex combination of the
+//     analyzer's samples, hence ≥ their minimum ≥ minRTT. So
+//     τ·minRTT ≤ τ·SRTT.
+//   - minRTT + MinRTO ≤ SRTT + max(4·RTTVAR, MinRTO) = RTO, and RTO
+//     backoff only inflates the right-hand side.
+//   - Before the fast path has a sample the analyzer has none either
+//     (fast samples are a superset), so its threshold is its RTO,
+//     which starts at InitRTO and only grows until the first sample.
+//
+// Therefore every record that closes a stall in the full analyzer
+// raises SymGap here: no stall escapes promotion.
+func (f *Flow) threshold() time.Duration {
+	if !f.hasRTT {
+		return f.cfg.InitRTO
+	}
+	th := time.Duration(f.cfg.Tau * float64(f.minRTT))
+	if alt := f.minRTT + f.cfg.MinRTO; alt < th {
+		th = alt
+	}
+	return th
+}
+
+// noAdvanceHold is the SymNoAdvance patience: well above the gap
+// threshold, so it only catches flows whose records keep flowing
+// while the cumulative ACK stays pinned.
+func (f *Flow) noAdvanceHold() time.Duration {
+	h := 4 * f.threshold()
+	if h < f.cfg.MinRTO {
+		h = f.cfg.MinRTO
+	}
+	return h
+}
+
+// sample folds one RTT lower-bound sample in, ignoring non-positive
+// values exactly as the analyzer's rttSample does.
+func (f *Flow) sample(s time.Duration) {
+	if s <= 0 {
+		return
+	}
+	if !f.hasRTT || s < f.minRTT {
+		f.minRTT = s
+		f.hasRTT = true
+	}
+}
+
+// retained is the number of records currently in the ring.
+func (f *Flow) retained() int { return int(f.total - f.ringStart) }
+
+// buffer appends r to the ring, growing it geometrically up to
+// RingCap, then overwriting the oldest record.
+func (f *Flow) buffer(r *trace.Record) (spill trace.Record, spilled bool) {
+	n := f.retained()
+	if n == len(f.ring) && len(f.ring) < f.cfg.RingCap {
+		f.grow()
+	}
+	if n == len(f.ring) {
+		// Full at capacity: the oldest record is overwritten. If the
+		// flow is attached and that record was never fed to its
+		// analyzer (the flow is parked), hand it back for immediate
+		// trickle-feeding so exactness survives at bounded lag.
+		if f.attached && f.fed == f.ringStart {
+			spill = f.materialize(f.head)
+			nsack := copy(f.spillSack[:], spill.Seg.SACK)
+			if nsack > 0 && f.ring[f.head].sackN >= 0 {
+				spill.Seg.SACK = f.spillSack[:nsack]
+			}
+			spilled = true
+			f.fed++
+		}
+		if f.ring[f.head].sackN < 0 {
+			delete(f.overflow, f.ringStart)
+		}
+		f.write(f.head, f.total, r)
+		f.head = (f.head + 1) % len(f.ring)
+		f.ringStart++
+		return spill, spilled
+	}
+	f.write((f.head+n)%len(f.ring), f.total, r)
+	return spill, spilled
+}
+
+// grow doubles the ring (capped at RingCap), re-laying retained
+// records out from slot 0.
+func (f *Flow) grow() {
+	newCap := 2 * len(f.ring)
+	if newCap == 0 {
+		newCap = 16
+	}
+	if newCap > f.cfg.RingCap {
+		newCap = f.cfg.RingCap
+	}
+	fresh := make([]slot, newCap)
+	n := f.retained()
+	for i := 0; i < n; i++ {
+		fresh[i] = f.ring[(f.head+i)%len(f.ring)]
+	}
+	f.ring = fresh
+	f.head = 0
+}
+
+// write stores r into slot i (absolute record index abs), copying
+// SACK blocks inline.
+func (f *Flow) write(i int, abs uint64, r *trace.Record) {
+	s := &f.ring[i]
+	s.t = r.T
+	s.tsVal = r.Seg.TSVal
+	s.tsEcr = r.Seg.TSEcr
+	s.seq = r.Seg.Seq
+	s.ack = r.Seg.Ack
+	s.len = int32(r.Seg.Len)
+	s.wnd = int32(r.Seg.Wnd)
+	s.flags = r.Seg.Flags
+	s.dir = r.Dir
+	switch n := len(r.Seg.SACK); {
+	case n == 0:
+		s.sackN = 0
+	case n <= len(s.sack):
+		copy(s.sack[:], r.Seg.SACK)
+		s.sackN = int8(n)
+	default:
+		if f.overflow == nil {
+			f.overflow = map[uint64][]packet.SACKBlock{}
+		}
+		f.overflow[abs] = append([]packet.SACKBlock(nil), r.Seg.SACK...)
+		s.sackN = -1
+	}
+}
+
+// materialize rebuilds slot i's record, with the SACK slice pointing
+// into the slot's inline array (valid until the slot is overwritten).
+func (f *Flow) materialize(i int) trace.Record {
+	s := &f.ring[i]
+	r := trace.Record{
+		T:   s.t,
+		Dir: s.dir,
+		Seg: tcpsim.Segment{
+			Flags: s.flags,
+			Seq:   s.seq,
+			Ack:   s.ack,
+			Len:   int(s.len),
+			Wnd:   int(s.wnd),
+			TSVal: s.tsVal,
+			TSEcr: s.tsEcr,
+		},
+	}
+	switch {
+	case s.sackN > 0:
+		r.Seg.SACK = s.sack[:s.sackN]
+	case s.sackN < 0:
+		abs := f.ringStart + uint64((i-f.head+len(f.ring))%len(f.ring))
+		r.Seg.SACK = f.overflow[abs]
+	}
+	return r
+}
+
+// Attach marks the flow promoted: from now on ReplayUnfed feeds the
+// buffered suffix (and, via Observe's spill, ring overflow while
+// parked trickle-feeds). It reports whether THIS attach lost history
+// — the symptom's earliest evidence predates the ring, so the
+// analyzer replays from the ring start instead of the flow start.
+// Attach is idempotent; repromotion after a park never truncates,
+// because spill keeps fed inside the ring.
+func (f *Flow) Attach() (truncated bool) {
+	if f.fed < f.ringStart {
+		f.fed = f.ringStart
+		f.truncated = true
+		truncated = true
+	}
+	f.attached = true
+	return truncated
+}
+
+// ReplayUnfed hands every buffered record the analyzer has not seen
+// yet to fn, in capture order. The record pointer is only valid for
+// the duration of the call. Promoted callers invoke it once per
+// Observe (feeding exactly the new record); repromotion replays the
+// whole parked suffix.
+func (f *Flow) ReplayUnfed(fn func(*trace.Record)) {
+	for f.fed < f.total {
+		i := (f.head + int(f.fed-f.ringStart)) % len(f.ring)
+		r := f.materialize(i)
+		fn(&r)
+		f.fed++
+	}
+}
+
+// Accessors. All report fast-path state only.
+
+// Total is the number of records observed (and buffered).
+func (f *Flow) Total() uint64 { return f.total }
+
+// Fed is the absolute index of the next record not yet replayed.
+func (f *Flow) Fed() uint64 { return f.fed }
+
+// Attached reports whether the flow has ever been promoted.
+func (f *Flow) Attached() bool { return f.attached }
+
+// Truncated reports whether any promotion replayed from a ring that
+// had already dropped history.
+func (f *Flow) Truncated() bool { return f.truncated }
+
+// RingStart is the absolute index of the oldest retained record.
+func (f *Flow) RingStart() uint64 { return f.ringStart }
+
+// FirstT/LastT bound the observed records (zero before the first).
+func (f *Flow) FirstT() sim.Time { return f.firstT }
+func (f *Flow) LastT() sim.Time  { return f.lastT }
+
+// DataBytes is the server data-stream span covered so far.
+func (f *Flow) DataBytes() int64 {
+	if !f.haveOut {
+		return 0
+	}
+	return int64(f.sndNxt - f.firstOutOff)
+}
+
+// OutDataSegments counts outgoing data segments. For a flow that
+// never raised SymRetrans every one is distinct (a repeat would sit
+// below the send edge), so this equals the analyzer's DataPackets.
+func (f *Flow) OutDataSegments() int { return int(f.outDataSegs) }
+
+// LastSymptom is the most recent non-SymNone symptom (SymNone before
+// the first).
+func (f *Flow) LastSymptom() Symptom { return f.lastSym }
+
+// SinceSymptom reports the record time elapsed since the last
+// symptom.
+func (f *Flow) SinceSymptom(now sim.Time) time.Duration {
+	return now.Sub(f.lastSymptomT)
+}
+
+// MinRTT reports the current RTT lower-bound estimate (0, false
+// before any sample).
+func (f *Flow) MinRTT() (time.Duration, bool) { return f.minRTT, f.hasRTT }

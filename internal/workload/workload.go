@@ -317,6 +317,45 @@ func Services() []Service {
 	return []Service{CloudStorage(), SoftwareDownload(), WebSearch()}
 }
 
+// Healthy derives a pathology-free variant of a service: single
+// request per connection (no think-time silences), a clean low-jitter
+// path with no loss, reordering, delay spikes or wireless access
+// jitter, fast delayed ACKs only, and no slow readers. The RTT floor
+// is raised to 60ms so the 40ms delayed ACK sits well under the
+// analyzer's min(τ·SRTT, RTO) stall threshold — flows from this model
+// neither stall nor look like they might, which makes it the healthy
+// bulk of the triage benchmark's traffic mix.
+func Healthy(base Service) Service {
+	s := base
+	s.Name = base.Name + "-healthy"
+	s.RequestsMin, s.RequestsMax = 1, 1
+	s.IdleMean, s.IdleLongProb = 0, 0
+	s.HeadDelayProb, s.HeadDelayMean = 0, 0
+	s.PauseProb, s.PauseMean = 0, 0
+	if s.RTTMin < 60*time.Millisecond {
+		s.RTTMin = 60 * time.Millisecond
+	}
+	if s.RTTMean < s.RTTMin {
+		s.RTTMean = s.RTTMin
+	}
+	s.JitterFrac = 0.05
+	s.WirelessProb, s.WirelessJitterRTT = 0, 0
+	s.ReorderProb, s.ReorderExtraRTT = 0, 0
+	s.SpikeEvery, s.SpikeExtraRTT, s.SpikeDur = 0, 0, 0
+	s.BurstEvery, s.BurstDur, s.BurstLossP = 0, 0, 0
+	s.LossGB, s.LossBG, s.LossBad = 0, 0, 0
+	s.AckLossProb = 0
+	// A fast, lightly-loaded bottleneck with ample buffering: no
+	// congestion drops, no bufferbloat-driven ACK silences.
+	s.BandwidthMean = 8_000_000
+	s.BandwidthSigma = 0.2
+	s.QueueLimit = 4096
+	s.DelAck = []WeightedDur{{40 * time.Millisecond, 1}}
+	s.SlowReaderProb, s.SlowReadFrac = 0, 0
+	s.ReadPauseEvery, s.ReadPauseMean = 0, 0
+	return s
+}
+
 // FlowResult couples a generated flow's trace with its simulator
 // ground truth.
 type FlowResult struct {
