@@ -13,12 +13,20 @@
 //     healthy-heavy traffic mix (the paper's regime: stalls are rare
 //     events buried in massive healthy traffic).
 //
+// Derived ratios that cannot be computed (a zero or unmeasured
+// denominator, a non-finite quotient) are reported as -1 — a sentinel
+// the gates skip — rather than JSON-invalid NaN/Inf or a silent 0
+// that would trip a floor.
+//
 // Gates (each exits non-zero when violated):
 //
 //	-min-rate N          monitor throughput floor (CI smoke)
 //	-flight-min-rate N   recorder-enabled throughput floor
 //	-triage-min-ratio F  triage speedup floor on the healthy-heavy mix
 //	                     (CI uses 3)
+//	-max-allocs-per-record F  fail when the always-on monitor pipeline
+//	                     allocates more than F heap objects per record
+//	                     (CI uses 2; the hot-path allocation budget)
 //	-baseline FILE       compare against a previous BENCH_live.json:
 //	-max-regress F       fail when incremental (recorder disabled)
 //	                     throughput regressed more than F (e.g. 0.02)
@@ -36,6 +44,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"math"
 	"os"
 	"runtime"
 	"time"
@@ -59,6 +68,14 @@ type result struct {
 	MonitorElapsedMS     float64 `json:"monitor_elapsed_ms"`
 	IngestP50Us          float64 `json:"ingest_p50_us"`
 	IngestP99Us          float64 `json:"ingest_p99_us"`
+
+	// MonitorAllocsPerRecord is heap allocations per record across the
+	// always-on monitor's whole pipeline (batch intake, shard
+	// processing, eviction), measured with ReadMemStats deltas over the
+	// final rep; TriageAllocsPerRecord is the same for the two-phase
+	// mix. -1 when unmeasurable.
+	MonitorAllocsPerRecord float64 `json:"monitor_allocs_per_record"`
+	TriageAllocsPerRecord  float64 `json:"triage_allocs_per_record"`
 
 	BatchRecordsPerSec       float64 `json:"batch_records_per_sec"`
 	IncrementalRecordsPerSec float64 `json:"incremental_records_per_sec"`
@@ -97,6 +114,7 @@ func main() {
 	minRate := flag.Float64("min-rate", 0, "exit non-zero when monitor records/sec is below this")
 	flightMinRate := flag.Float64("flight-min-rate", 0, "exit non-zero when recorder-enabled records/sec is below this")
 	triageMinRatio := flag.Float64("triage-min-ratio", 0, "exit non-zero when healthy-heavy triage records/sec is below this multiple of the always-on monitor baseline")
+	maxAllocs := flag.Float64("max-allocs-per-record", -1, "exit non-zero when the always-on monitor allocates more than this many heap objects per record (<0 disables)")
 	baseline := flag.String("baseline", "", "compare against this previous BENCH_live.json")
 	maxRegress := flag.Float64("max-regress", 0.02, "with -baseline: max allowed fractional regression of recorder-disabled incremental throughput")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
@@ -134,36 +152,28 @@ func main() {
 	res := result{Quick: *quick, GoMaxProcs: runtime.GOMAXPROCS(0), Flows: len(flows), Records: len(events)}
 	logger.Info("workload ready", "flows", len(flows), "records", len(events))
 
-	res.MonitorRecordsPerSec, res.MonitorElapsedMS, res.IngestP50Us, res.IngestP99Us = benchMonitor(events, reps)
+	res.MonitorRecordsPerSec, res.MonitorElapsedMS, res.IngestP50Us, res.IngestP99Us, res.MonitorAllocsPerRecord = benchMonitor(events, reps)
 	res.BatchRecordsPerSec = benchBatch(flows, reps)
 	res.IncrementalRecordsPerSec = benchIncremental(flows, reps, false)
 	res.FlightRecordsPerSec = benchIncremental(flows, reps, true)
-	if res.IncrementalRecordsPerSec > 0 {
-		res.IncrementalOverhead = res.BatchRecordsPerSec / res.IncrementalRecordsPerSec
-	}
-	if res.FlightRecordsPerSec > 0 {
-		res.FlightOverhead = res.IncrementalRecordsPerSec / res.FlightRecordsPerSec
-	}
+	res.IncrementalOverhead = ratio(res.BatchRecordsPerSec, res.IncrementalRecordsPerSec)
+	res.FlightOverhead = ratio(res.IncrementalRecordsPerSec, res.FlightRecordsPerSec)
 
 	mixEvents, mixFlows := healthyHeavyMix(perSvc, *quick)
 	res.MixFlows, res.MixRecords = mixFlows, len(mixEvents)
 	logger.Info("healthy-heavy mix ready", "flows", mixFlows, "records", len(mixEvents))
 	var snap live.Snapshot
-	res.TriageRecordsPerSec, snap = benchMix(mixEvents, reps, true)
-	res.MixMonitorRecordsPerSec, _ = benchMix(mixEvents, reps, false)
-	if res.MixMonitorRecordsPerSec > 0 {
-		res.TriageSpeedup = res.TriageRecordsPerSec / res.MixMonitorRecordsPerSec
-	}
-	if res.MonitorRecordsPerSec > 0 {
-		res.TriageOverMonitor = res.TriageRecordsPerSec / res.MonitorRecordsPerSec
-	}
+	res.TriageRecordsPerSec, res.TriageAllocsPerRecord, snap = benchMix(mixEvents, reps, true)
+	res.MixMonitorRecordsPerSec, _, _ = benchMix(mixEvents, reps, false)
+	res.TriageSpeedup = ratio(res.TriageRecordsPerSec, res.MixMonitorRecordsPerSec)
+	res.TriageOverMonitor = ratio(res.TriageRecordsPerSec, res.MonitorRecordsPerSec)
 	var promotions uint64
 	for _, n := range snap.TriagePromotions {
 		promotions += n
 	}
-	if snap.FlowsSeen > 0 {
-		res.TriagePromotionRate = float64(promotions-snap.TriageRepromotions) / float64(snap.FlowsSeen)
-	}
+	// First-time promotions can't be negative, but compute in floats so
+	// a counter glitch surfaces as the sentinel, not a 2^64 rate.
+	res.TriagePromotionRate = ratio(float64(promotions)-float64(snap.TriageRepromotions), float64(snap.FlowsSeen))
 	res.TriageTruncatedPromotions = snap.TriageTruncatedPromotions
 
 	b, _ := json.MarshalIndent(&res, "", "  ")
@@ -186,11 +196,16 @@ func main() {
 			"records_per_sec", res.FlightRecordsPerSec, "floor", *flightMinRate)
 		fail = true
 	}
-	if *triageMinRatio > 0 && res.TriageOverMonitor < *triageMinRatio {
+	if *triageMinRatio > 0 && res.TriageOverMonitor >= 0 && res.TriageOverMonitor < *triageMinRatio {
 		logger.Error("FAIL triage throughput below floor on the healthy-heavy mix",
 			"triage_records_per_sec", res.TriageRecordsPerSec,
 			"monitor_records_per_sec", res.MonitorRecordsPerSec,
 			"ratio", res.TriageOverMonitor, "floor", *triageMinRatio)
+		fail = true
+	}
+	if *maxAllocs >= 0 && res.MonitorAllocsPerRecord >= 0 && res.MonitorAllocsPerRecord > *maxAllocs {
+		logger.Error("FAIL monitor pipeline allocates above the per-record budget",
+			"allocs_per_record", res.MonitorAllocsPerRecord, "budget", *maxAllocs)
 		fail = true
 	}
 	if *baseline != "" && !checkBaseline(logger, *baseline, &res, *maxRegress) {
@@ -247,35 +262,78 @@ func checkBaseline(logger *slog.Logger, path string, res *result, maxRegress flo
 	return true
 }
 
+// ratio returns num/den, or the -1 sentinel when the denominator is
+// not positive or the quotient is not finite. The gates treat -1 as
+// "not measurable" and skip; serializing NaN/Inf would corrupt the
+// JSON, and a silent 0 would trip every floor.
+func ratio(num, den float64) float64 {
+	if den <= 0 {
+		return -1
+	}
+	q := num / den
+	if math.IsNaN(q) || math.IsInf(q, 0) {
+		return -1
+	}
+	return q
+}
+
+// benchChunk is the batch-intake granularity: the chunk size a replay
+// source hands IngestBatchWait, matching the shard drain batch.
+const benchChunk = 512
+
 // benchMonitor pushes the event set through a running Monitor reps
-// times and reports the best run's throughput plus per-call ingest
-// latency quantiles sampled across all runs.
-func benchMonitor(events []trace.RecordEvent, reps int) (rate, elapsedMS, p50us, p99us float64) {
-	lat := stats.NewSample(len(events) * reps)
+// times over the batch intake path — the line-rate path replay and
+// generation sources use — and reports the best run's throughput plus
+// heap allocations per record across the final rep's whole pipeline
+// (intake, shard processing, eviction; ReadMemStats deltas, so shard
+// goroutine allocations count too). Per-call latency quantiles come
+// from one extra per-record IngestWait pass, sampled every 64th call
+// so timer overhead doesn't dominate the measured loop.
+func benchMonitor(events []trace.RecordEvent, reps int) (rate, elapsedMS, p50us, p99us, allocsPerRec float64) {
 	best := time.Duration(1 << 62)
+	var ms0, ms1 runtime.MemStats
 	for r := 0; r < reps; r++ {
 		m := live.New(live.Config{RingSize: 1 << 14})
 		m.Start()
-		// Sample every 64th call so timer overhead doesn't dominate
-		// the measured loop.
+		last := r == reps-1
+		if last {
+			runtime.ReadMemStats(&ms0)
+		}
 		start := time.Now()
-		for i := range events {
-			if i%64 == 0 {
-				t0 := time.Now()
-				m.IngestWait(events[i])
-				lat.Add(float64(time.Since(t0)) / float64(time.Microsecond))
-			} else {
-				m.IngestWait(events[i])
+		for i := 0; i < len(events); i += benchChunk {
+			end := i + benchChunk
+			if end > len(events) {
+				end = len(events)
 			}
+			m.IngestBatchWait(events[i:end])
 		}
 		feed := time.Since(start)
 		m.Close()
+		if last {
+			runtime.ReadMemStats(&ms1)
+		}
 		if feed < best {
 			best = feed
 		}
 	}
+	allocsPerRec = ratio(float64(ms1.Mallocs-ms0.Mallocs), float64(len(events)))
+
+	lat := stats.NewSample(len(events)/64 + 1)
+	m := live.New(live.Config{RingSize: 1 << 14})
+	m.Start()
+	for i := range events {
+		if i%64 == 0 {
+			t0 := time.Now()
+			m.IngestWait(events[i])
+			lat.Add(float64(time.Since(t0)) / float64(time.Microsecond))
+		} else {
+			m.IngestWait(events[i])
+		}
+	}
+	m.Close()
+
 	rate = float64(len(events)) / best.Seconds()
-	return rate, float64(best) / float64(time.Millisecond), lat.Quantile(0.50), lat.Quantile(0.99)
+	return rate, float64(best) / float64(time.Millisecond), lat.Quantile(0.50), lat.Quantile(0.99), allocsPerRec
 }
 
 // healthyHeavyMix builds the triage benchmark's traffic: for every
@@ -325,9 +383,11 @@ func healthyHeavyMix(perSvc int, quick bool) ([]trace.RecordEvent, int) {
 
 // benchMix pushes the healthy-heavy events through a Monitor reps
 // times — triage two-phase or always-on — reporting the best run's
-// throughput and the final run's counter snapshot.
-func benchMix(events []trace.RecordEvent, reps int, triaged bool) (rate float64, snap live.Snapshot) {
+// throughput, the final rep's allocations per record, and the final
+// run's counter snapshot.
+func benchMix(events []trace.RecordEvent, reps int, triaged bool) (rate, allocsPerRec float64, snap live.Snapshot) {
 	best := time.Duration(1 << 62)
+	var ms0, ms1 runtime.MemStats
 	for r := 0; r < reps; r++ {
 		cfg := live.Config{RingSize: 1 << 14}
 		if triaged {
@@ -335,10 +395,13 @@ func benchMix(events []trace.RecordEvent, reps int, triaged bool) (rate float64,
 		}
 		m := live.New(cfg)
 		m.Start()
-		const chunk = 512
+		last := r == reps-1
+		if last {
+			runtime.ReadMemStats(&ms0)
+		}
 		start := time.Now()
-		for i := 0; i < len(events); i += chunk {
-			end := i + chunk
+		for i := 0; i < len(events); i += benchChunk {
+			end := i + benchChunk
 			if end > len(events) {
 				end = len(events)
 			}
@@ -346,12 +409,16 @@ func benchMix(events []trace.RecordEvent, reps int, triaged bool) (rate float64,
 		}
 		feed := time.Since(start)
 		m.Close()
+		if last {
+			runtime.ReadMemStats(&ms1)
+		}
 		if feed < best {
 			best = feed
 		}
 		snap = m.Snapshot()
 	}
-	return float64(len(events)) / best.Seconds(), snap
+	allocsPerRec = ratio(float64(ms1.Mallocs-ms0.Mallocs), float64(len(events)))
+	return float64(len(events)) / best.Seconds(), allocsPerRec, snap
 }
 
 func benchBatch(flows []*trace.Flow, reps int) float64 {

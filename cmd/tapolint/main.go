@@ -1,10 +1,11 @@
 // Command tapolint runs the repo's invariant analyzers (seqsafe,
-// detclock, lockcheck, evpurity, jsontags) over the given packages
-// and exits nonzero when any finding survives. It is the CI gate
-// behind every refactor: the invariants it enforces (wraparound-safe
-// sequence arithmetic, deterministic simulation, lock discipline,
-// observer purity, wire-format hygiene) are exactly the unwritten
-// rules whose silent violation would invalidate the reproduction.
+// detclock, lockcheck, evpurity, jsontags, hotalloc) over the given
+// packages and exits nonzero when any finding survives. It is the CI
+// gate behind every refactor: the invariants it enforces
+// (wraparound-safe sequence arithmetic, deterministic simulation,
+// lock discipline, observer purity, wire-format hygiene, hot-path
+// allocation budgets) are exactly the unwritten rules whose silent
+// violation would invalidate the reproduction.
 //
 // Usage:
 //

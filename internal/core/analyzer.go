@@ -175,9 +175,7 @@ type analyzer struct {
 func Analyze(f *trace.Flow, cfg Config) *FlowAnalysis {
 	inc := NewIncremental(cfg)
 	inc.SetMeta(FlowMeta{ID: f.ID, Service: f.Service, MSS: f.MSS, InitRwnd: f.InitRwnd})
-	for i := range f.Records {
-		inc.Feed(&f.Records[i])
-	}
+	inc.FeedBatch(f.Records)
 	return inc.Flush()
 }
 
@@ -191,9 +189,7 @@ func AnalyzeFlight(f *trace.Flow, cfg Config, fcfg flight.Config) (*FlowAnalysis
 	inc.SetMeta(FlowMeta{ID: f.ID, Service: f.Service, MSS: f.MSS, InitRwnd: f.InitRwnd})
 	rec := flight.NewRecorder(fcfg)
 	inc.SetRecorder(rec)
-	for i := range f.Records {
-		inc.Feed(&f.Records[i])
-	}
+	inc.FeedBatch(f.Records)
 	return inc.Flush(), rec
 }
 
@@ -537,11 +533,12 @@ func (a *analyzer) processIn(r *trace.Record) {
 	// contained in the second block. Wire-space modular comparisons
 	// suffice here — the blocks sit within one window of each other.
 	dsacked := false
-	if len(seg.SACK) > 0 {
-		b0 := seg.SACK[0]
+	sblocks := seg.SACK.Slice()
+	if len(sblocks) > 0 {
+		b0 := sblocks[0]
 		if (hasAck && seqspace.LessEq(b0.Right, seg.Ack)) ||
-			(len(seg.SACK) > 1 && seqspace.LessEq(seg.SACK[1].Left, b0.Left) &&
-				seqspace.LessEq(b0.Right, seg.SACK[1].Right)) {
+			(len(sblocks) > 1 && seqspace.LessEq(sblocks[1].Left, b0.Left) &&
+				seqspace.LessEq(b0.Right, sblocks[1].Right)) {
 			dsacked = true
 			l0, r0 := a.u.Unwrap(b0.Left), a.u.Unwrap(b0.Right)
 			for i := range a.segs {
@@ -557,7 +554,7 @@ func (a *analyzer) processIn(r *trace.Record) {
 	// SACK marking.
 	sackedNew := false
 	sackedCount := 0
-	for bi, b := range seg.SACK {
+	for bi, b := range sblocks {
 		if dsacked && bi == 0 {
 			continue
 		}
@@ -582,7 +579,7 @@ func (a *analyzer) processIn(r *trace.Record) {
 	case a.haveBase && hasAck && ack > a.sndUna:
 		a.newAck(r, seg, ack)
 	case a.haveBase && hasAck && ack == a.sndUna && seg.Len == 0 &&
-		a.packetsOut() > 0 && (sackedNew || len(seg.SACK) > 0 || seg.Wnd == prevRwnd):
+		a.packetsOut() > 0 && (sackedNew || len(sblocks) > 0 || seg.Wnd == prevRwnd):
 		a.dupacks++
 		a.emit(flight.KindAck, "dupack", int64(a.dupacks), int64(a.dupThresh), 0)
 		if a.caState == tcpsim.StateOpen {

@@ -55,3 +55,36 @@ func BenchmarkAnalyzeShort(b *testing.B) {
 		Analyze(fl, cfg)
 	}
 }
+
+// BenchmarkFeed and BenchmarkFeedBatch drive the incremental analyzer
+// over the same ~2MB lossy flow per-record and batched. The delta is
+// the pure call overhead FeedBatch amortizes — exactly what the live
+// shard loop saves by grouping its drained batches into per-flow
+// runs. Run with -benchmem to see the per-flow allocation profile.
+func BenchmarkFeed(b *testing.B) {
+	fl := benchFlow(b, 2_000_000)
+	cfg := DefaultConfig()
+	b.SetBytes(fl.DataBytes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inc := NewIncremental(cfg)
+		for j := range fl.Records {
+			inc.Feed(&fl.Records[j])
+		}
+		inc.Flush()
+	}
+}
+
+func BenchmarkFeedBatch(b *testing.B) {
+	fl := benchFlow(b, 2_000_000)
+	cfg := DefaultConfig()
+	b.SetBytes(fl.DataBytes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inc := NewIncremental(cfg)
+		inc.FeedBatch(fl.Records)
+		inc.Flush()
+	}
+}

@@ -125,11 +125,31 @@ func (inc *Incremental) Meta() FlowMeta { return inc.meta }
 
 // Feed advances the analyzer by one record. Records must arrive in
 // capture order. Feed panics if called after Flush.
+//
+// tapo:hotpath
 func (inc *Incremental) Feed(r *trace.Record) {
 	if inc.flushed {
 		panic("core: Incremental.Feed after Flush")
 	}
 	inc.a.feed(r)
+}
+
+// FeedBatch advances the analyzer by a run of records in capture
+// order. It is exactly equivalent to calling Feed on each record —
+// batch ≡ incremental by construction — but pays the flushed check
+// and the call overhead once per run instead of once per record,
+// which is what the live shard loop wants: it already drains its
+// ingest channel in batches, so re-entering Feed per record was pure
+// overhead. FeedBatch panics if called after Flush.
+//
+// tapo:hotpath
+func (inc *Incremental) FeedBatch(recs []trace.Record) {
+	if inc.flushed {
+		panic("core: Incremental.FeedBatch after Flush")
+	}
+	for i := range recs {
+		inc.a.feed(&recs[i])
+	}
 }
 
 // Records reports how many records have been fed.

@@ -144,3 +144,50 @@ func TestIncrementalFlushTerminal(t *testing.T) {
 	}()
 	inc.Feed(&trace.Record{})
 }
+
+// TestFeedBatchMatchesFeed: FeedBatch is defined as the per-record
+// Feed loop, so any chunking of a flow's records — including the
+// degenerate 1-record and whole-flow chunkings, with empty batches
+// sprinkled in — must produce byte-identical JSON.
+func TestFeedBatchMatchesFeed(t *testing.T) {
+	for _, svc := range workload.Services() {
+		for _, fr := range workload.Generate(svc, 7, workload.GenOptions{Flows: 4}) {
+			f := fr.Flow
+			if len(f.Records) == 0 {
+				continue
+			}
+			want := incremental(t, f, nil)
+			for _, chunk := range []int{1, 3, 64, len(f.Records)} {
+				inc := core.NewIncremental(core.Config{})
+				inc.SetMeta(core.FlowMeta{ID: f.ID, Service: f.Service, MSS: f.MSS, InitRwnd: f.InitRwnd})
+				inc.FeedBatch(nil) // empty batch is a no-op
+				for lo := 0; lo < len(f.Records); lo += chunk {
+					hi := lo + chunk
+					if hi > len(f.Records) {
+						hi = len(f.Records)
+					}
+					inc.FeedBatch(f.Records[lo:hi])
+				}
+				got, err := core.MarshalAnalyses([]*core.FlowAnalysis{inc.Flush()})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("%s chunk=%d: FeedBatch != Feed\nbatch: %s\nfeed:  %s", f.ID, chunk, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFeedBatchAfterFlushPanics pins the terminal contract.
+func TestFeedBatchAfterFlushPanics(t *testing.T) {
+	inc := core.NewIncremental(core.Config{})
+	inc.Flush()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FeedBatch after Flush did not panic")
+		}
+	}()
+	inc.FeedBatch(make([]trace.Record, 1))
+}

@@ -32,7 +32,7 @@ func TestPropertyAnalyzerNeverPanics(t *testing.T) {
 			if rng.Bool(0.3) {
 				for b := 0; b < rng.Intn(4); b++ {
 					l := uint32(rng.Intn(1 << 20))
-					seg.SACK = append(seg.SACK, packet.SACKBlock{Left: l, Right: l + uint32(rng.Intn(5000))})
+					seg.SACK.Append(packet.SACKBlock{Left: l, Right: l + uint32(rng.Intn(5000))})
 				}
 			}
 			if rng.Bool(0.5) {

@@ -58,7 +58,7 @@ func WriteTraceJSONL(w io.Writer, f *trace.Flow, a *core.FlowAnalysis, rec *flig
 		if err := enc.Encode(PktLine{
 			Type: "pkt", Flow: a.FlowID, Idx: i, TS: r.T.Seconds(),
 			Dir: r.Dir.String(), Seq: r.Seg.Seq, Ack: r.Seg.Ack, Len: r.Seg.Len,
-			Wnd: r.Seg.Wnd, Flag: r.Seg.Flags.String(), Sack: len(r.Seg.SACK),
+			Wnd: r.Seg.Wnd, Flag: r.Seg.Flags.String(), Sack: r.Seg.SACK.Len(),
 		}); err != nil {
 			return err
 		}

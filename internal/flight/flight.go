@@ -126,7 +126,7 @@ func sampleOf(idx int, r *trace.Record) RecSample {
 		Len:   r.Seg.Len,
 		Wnd:   r.Seg.Wnd,
 		Flags: r.Seg.Flags,
-		Sack:  len(r.Seg.SACK),
+		Sack:  r.Seg.SACK.Len(),
 	}
 }
 

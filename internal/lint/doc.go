@@ -27,6 +27,10 @@
 //     shown.
 //   - jsontags: structs serialized on the HTTP/JSONL surfaces carry
 //     complete, snake_case, duplicate-free json tags.
+//   - hotalloc: functions marked `tapo:hotpath` sit on the live
+//     monitor's per-record path and promise not to allocate; the
+//     allocating builtins, closures and interface boxing inside them
+//     are flagged so the promise is audited, not assumed.
 //
 // Run the whole suite with:
 //

@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Hotalloc enforces the hot-path allocation budget. A function whose
+// doc comment carries the `tapo:hotpath` marker declares itself on
+// the per-record path of the live monitor (triage Observe, the
+// incremental analyzer's Feed loop): it must not allocate in steady
+// state, because at line rate every per-record allocation becomes GC
+// pressure that the paper's always-on monitoring budget cannot
+// absorb. Inside a marked body the analyzer flags the constructs the
+// compiler turns into heap allocations:
+//
+//   - the allocating builtins: append (may grow the backing array),
+//     make, and new;
+//   - function literals, whose captured variables move to the heap
+//     with the closure;
+//   - composite literals (and &T{...} forms) passed, assigned or
+//     converted to interface types — the boxing allocates.
+//
+// The check is a marker audit, not escape analysis: an append into
+// pre-sized spare capacity never allocates at run time but is still
+// flagged, because the marker promises the reader the function cannot
+// allocate, and a justified `//lint:allow hotalloc <reason>` is
+// exactly the place to record why a flagged construct is safe.
+// Functions without the marker are out of scope, and marked functions
+// are not followed into their callees: the marker names the audited
+// surface.
+var Hotalloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flags heap-allocating constructs in functions marked tapo:hotpath",
+	Run:  runHotalloc,
+}
+
+// hotpathMark is the doc-comment marker that opts a function into the
+// audit.
+const hotpathMark = "tapo:hotpath"
+
+func runHotalloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasHotpathMark(fd.Doc) {
+				continue
+			}
+			checkHotBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+func hasHotpathMark(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.Contains(c.Text, hotpathMark) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotBody(pass *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(x.Pos(),
+				"closure heap-allocates its captures in hotpath %s", name)
+			// The closure itself is the finding; its body runs under
+			// the same report, so don't walk into it.
+			return false
+		case *ast.CallExpr:
+			checkHotCall(pass, x, name)
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				if i < len(x.Lhs) {
+					checkHotBoxing(pass, rhs, pass.Info.TypeOf(x.Lhs[i]), name)
+				}
+			}
+		case *ast.ValueSpec:
+			for _, v := range x.Values {
+				checkHotBoxing(pass, v, pass.Info.TypeOf(x.Type), name)
+			}
+		}
+		return true
+	})
+}
+
+// checkHotCall flags the allocating builtins and composite-literal
+// arguments boxed into interface parameters.
+func checkHotCall(pass *Pass, call *ast.CallExpr, name string) {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				pass.Reportf(call.Pos(),
+					"append may grow its backing array in hotpath %s; preallocate or recycle through an arena", name)
+			case "make":
+				pass.Reportf(call.Pos(),
+					"make allocates in hotpath %s; hoist the allocation out of the per-record path", name)
+			case "new":
+				pass.Reportf(call.Pos(),
+					"new allocates in hotpath %s; hoist the allocation out of the per-record path", name)
+			}
+			return
+		}
+	}
+	// Conversion to an interface type: any(T{...}) and friends.
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			checkHotBoxing(pass, call.Args[0], tv.Type, name)
+		}
+		return
+	}
+	sig, ok := pass.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				pt = params.At(params.Len() - 1).Type()
+			} else if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		checkHotBoxing(pass, arg, pt, name)
+	}
+}
+
+// checkHotBoxing reports expr when it is a composite literal (or its
+// address) landing in an interface-typed slot — the conversion copies
+// the value to the heap.
+func checkHotBoxing(pass *Pass, expr ast.Expr, dst types.Type, name string) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	e := expr
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op.String() == "&" {
+		e = u.X
+	}
+	if _, ok := e.(*ast.CompositeLit); !ok {
+		return
+	}
+	pass.Reportf(expr.Pos(),
+		"composite literal boxed into an interface heap-allocates in hotpath %s", name)
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"tcpstall/internal/lint"
+	"tcpstall/internal/lint/linttest"
+)
+
+func TestHotalloc(t *testing.T) {
+	linttest.Run(t, lint.Hotalloc, "testdata/hotalloc/hot", "tcpstall/internal/triage/hot")
+}

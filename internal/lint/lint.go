@@ -59,7 +59,7 @@ func (p *Pass) Preorder(fn func(ast.Node) bool) {
 }
 
 // Analyzers is the full tapolint suite in reporting order.
-var Analyzers = []*Analyzer{Seqsafe, Detclock, Lockcheck, Evpurity, Jsontags}
+var Analyzers = []*Analyzer{Seqsafe, Detclock, Lockcheck, Evpurity, Jsontags, Hotalloc}
 
 // ByName returns the named analyzer, or nil.
 func ByName(name string) *Analyzer {

@@ -1,0 +1,77 @@
+// Package hot seeds violations for the hotalloc analyzer: every
+// allocating construct inside a tapo:hotpath function must be
+// flagged, identical constructs outside must stay silent, and a
+// justified allow must suppress.
+package hot
+
+import "fmt"
+
+type rec struct {
+	seq uint32
+	len int
+}
+
+type sink interface{ consume(any) }
+
+var global []rec
+
+// observe is on the per-record path.
+//
+// tapo:hotpath
+func observe(r *rec, out []rec) []rec {
+	out = append(out, *r) // want `append may grow its backing array in hotpath observe`
+	buf := make([]rec, 8) // want `make allocates in hotpath observe`
+	_ = buf
+	p := new(rec) // want `new allocates in hotpath observe`
+	_ = p
+	return out
+}
+
+// feed mixes boxing shapes.
+//
+// tapo:hotpath
+func feed(s sink, r *rec) {
+	s.consume(rec{seq: r.seq})  // want `composite literal boxed into an interface heap-allocates in hotpath feed`
+	s.consume(&rec{seq: r.seq}) // want `composite literal boxed into an interface heap-allocates in hotpath feed`
+	var x any = rec{len: 1}     // want `composite literal boxed into an interface heap-allocates in hotpath feed`
+	_ = x
+	y := any(rec{len: 2}) // want `composite literal boxed into an interface heap-allocates in hotpath feed`
+	_ = y
+	fmt.Println(rec{len: 3}) // want `composite literal boxed into an interface heap-allocates in hotpath feed`
+}
+
+// capture closes over its argument.
+//
+// tapo:hotpath
+func capture(r *rec) func() int {
+	return func() int { return r.len } // want `closure heap-allocates its captures in hotpath capture`
+}
+
+// allowed records why its append cannot reallocate.
+//
+// tapo:hotpath
+func allowed(out []rec, r *rec) []rec {
+	//lint:allow hotalloc caller guarantees spare capacity; see ring invariant
+	return append(out, *r)
+}
+
+// cold does all of the same things with no marker: none of it is in
+// scope, so none of it may be flagged.
+func cold(s sink, r *rec) {
+	global = append(global, *r)
+	_ = make([]rec, 4)
+	_ = new(rec)
+	s.consume(rec{})
+	_ = func() int { return r.len }
+}
+
+// hot is marked but clean: pure field math, value copies, calls.
+//
+// tapo:hotpath
+func hot(r *rec, out *rec) int {
+	*out = *r
+	out.seq++
+	return out.len + fieldOf(out)
+}
+
+func fieldOf(r *rec) int { return r.len }

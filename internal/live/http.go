@@ -115,8 +115,15 @@ func NewHandler(m *Monitor) http.Handler {
 	return mux
 }
 
-// limitParam parses the optional ?n= result cap; on a malformed or
-// negative value it writes 400 and reports false.
+// maxLimitParam bounds ?n=: anything past it cannot be a real paging
+// request (the flow table itself caps far lower) and is rejected
+// rather than silently clamped, so a fat-fingered or adversarial
+// value surfaces as a 400 instead of an unbounded-looking query that
+// quietly worked.
+const maxLimitParam = 1 << 20
+
+// limitParam parses the optional ?n= result cap; on a malformed,
+// negative or absurdly large value it writes 400 and reports false.
 func limitParam(w http.ResponseWriter, r *http.Request) (int, bool) {
 	q := r.URL.Query().Get("n")
 	if q == "" {
@@ -125,6 +132,10 @@ func limitParam(w http.ResponseWriter, r *http.Request) (int, bool) {
 	n, err := strconv.Atoi(q)
 	if err != nil || n < 0 {
 		http.Error(w, "bad query: n must be a non-negative integer", http.StatusBadRequest)
+		return 0, false
+	}
+	if n > maxLimitParam {
+		http.Error(w, "bad query: n exceeds the maximum of 1048576", http.StatusBadRequest)
 		return 0, false
 	}
 	return n, true

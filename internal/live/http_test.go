@@ -105,3 +105,59 @@ func TestHTTPPlane(t *testing.T) {
 		t.Errorf("/healthz after Close = %d, want 503", code)
 	}
 }
+
+// TestLimitParam pins the ?n= contract on /flows and /stalls: 0 and
+// anything at or above the list length return the whole list,
+// in-range values truncate, and negative, absurd, or non-numeric
+// values are 400s — never a silent clamp.
+func TestLimitParam(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	m := New(Config{Shards: 1, Clock: clk.Now})
+	defer m.Close()
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+
+	feedDirect(m, dataEvent("lim-1", 0, 1000, 1460))
+	feedDirect(m, dataEvent("lim-2", 0, 1000, 1460))
+
+	countFlows := func(body string) int {
+		t.Helper()
+		var flows struct {
+			Flows []FlowInfo `json:"flows"`
+		}
+		if err := json.Unmarshal([]byte(body), &flows); err != nil {
+			t.Fatalf("JSON: %v\n%s", err, body)
+		}
+		return len(flows.Flows)
+	}
+
+	for _, tc := range []struct {
+		path string
+		code int
+		n    int // expected list length when code == 200
+	}{
+		{"/flows", 200, 2},           // no n: everything
+		{"/flows?n=0", 200, 2},       // 0 means no cap
+		{"/flows?n=1", 200, 1},       // in-range truncation
+		{"/flows?n=2", 200, 2},       // exactly the length
+		{"/flows?n=1000", 200, 2},    // above the length, below the bound
+		{"/flows?n=1048576", 200, 2}, // the bound itself is accepted
+		{"/flows?n=-1", 400, 0},
+		{"/flows?n=1048577", 400, 0},
+		{"/flows?n=9999999999999999999", 400, 0}, // overflows int64 too
+		{"/flows?n=ten", 400, 0},
+		{"/stalls?n=-1", 400, 0},
+		{"/stalls?n=1048577", 400, 0},
+	} {
+		code, body := get(t, srv, tc.path)
+		if code != tc.code {
+			t.Errorf("%s = %d, want %d (%s)", tc.path, code, tc.code, body)
+			continue
+		}
+		if code == 200 && strings.HasPrefix(tc.path, "/flows") {
+			if got := countFlows(body); got != tc.n {
+				t.Errorf("%s returned %d flows, want %d", tc.path, got, tc.n)
+			}
+		}
+	}
+}

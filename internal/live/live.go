@@ -169,7 +169,46 @@ type Monitor struct {
 	ingested  atomic.Uint64
 	ringDrops atomic.Uint64
 
+	// batchFree recycles the per-shard event buffers IngestBatchWait
+	// splits a batch into: the shard returns each buffer after
+	// draining it, so steady-state batch intake allocates nothing.
+	batchFree batchFreeList
+
 	recent stallRing
+}
+
+// batchFreeList is a mutex-guarded stack of event buffers shared by
+// IngestBatchWait (producer side) and the shard goroutines (return
+// side). One lock operation per batch, not per record.
+type batchFreeList struct {
+	mu   sync.Mutex
+	free [][]trace.RecordEvent
+}
+
+// batchFreeMax bounds retained buffers so a burst cannot pin memory.
+const batchFreeMax = 64
+
+func (p *batchFreeList) get() []trace.RecordEvent {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return b[:0]
+	}
+	return nil
+}
+
+func (p *batchFreeList) put(b []trace.RecordEvent) {
+	if cap(b) == 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) < batchFreeMax {
+		p.free = append(p.free, b[:0])
+	}
 }
 
 // New builds a Monitor (not yet running; call Start).
@@ -182,14 +221,18 @@ func New(cfg Config) *Monitor {
 		perShard = 1
 	}
 	for i := 0; i < cfg.Shards; i++ {
-		m.shards = append(m.shards, &shard{
+		sh := &shard{
 			m:        m,
 			in:       make(chan trace.RecordEvent, cfg.RingSize),
 			inb:      make(chan []trace.RecordEvent, 64),
 			flows:    map[string]*flowEntry{},
 			maxFlows: perShard,
 			agg:      newAggregates(cfg.Window, cfg.WindowBuckets),
-		})
+		}
+		if cfg.Triage != nil {
+			sh.arena = triage.NewArena()
+		}
+		m.shards = append(m.shards, sh)
 	}
 	return m
 }
@@ -276,15 +319,29 @@ func (m *Monitor) IngestBatchWait(evs []trace.RecordEvent) bool {
 		return false
 	}
 	if len(m.shards) == 1 {
-		b := make([]trace.RecordEvent, len(evs))
-		copy(b, evs)
+		b := append(m.batchFree.get(), evs...)
 		m.shards[0].inb <- b
 		m.ingested.Add(uint64(len(evs)))
 		return true
 	}
-	bufs := make([][]trace.RecordEvent, len(m.shards))
+	// Split by shard into recycled buffers; each shard returns its
+	// buffer to the free list once drained. The outer index array is
+	// stack-sized for the common shard counts.
+	var bufArr [64][]trace.RecordEvent
+	var bufs [][]trace.RecordEvent
+	if len(m.shards) <= len(bufArr) {
+		bufs = bufArr[:len(m.shards)]
+	} else {
+		bufs = make([][]trace.RecordEvent, len(m.shards))
+	}
 	for i := range evs {
 		s := m.shardIdx(evs[i].FlowID)
+		if bufs[s] == nil {
+			bufs[s] = m.batchFree.get()
+			if bufs[s] == nil {
+				bufs[s] = make([]trace.RecordEvent, 0, len(evs))
+			}
+		}
 		bufs[s] = append(bufs[s], evs[i])
 	}
 	for s, b := range bufs {
@@ -347,6 +404,13 @@ type shard struct {
 	mu sync.Mutex
 	// flows is the live flow table. guarded by mu
 	flows map[string]*flowEntry
+	// arena recycles triage ring backings across this shard's flows
+	// (nil outside triage mode). guarded by mu
+	arena *triage.Arena
+	// scratch batches consecutive same-flow records for FeedBatch;
+	// reused across runs so the batch path allocates nothing in
+	// steady state. guarded by mu
+	scratch []trace.Record
 	// lru orders entries front = most recently active; values are
 	// *flowEntry. guarded by mu
 	lru list.List
@@ -406,6 +470,7 @@ func (sh *shard) run() {
 				return
 			}
 			sh.processBatch(evs)
+			sh.m.batchFree.put(evs)
 		case <-sweep.C:
 			sh.SweepIdle()
 		}
@@ -413,13 +478,21 @@ func (sh *shard) run() {
 }
 
 // processBatch runs one pre-grouped event batch under a single lock
-// acquisition and clock read.
+// acquisition and clock read, splitting it into consecutive same-flow
+// runs so always-on flows are fed through FeedBatch instead of
+// re-entering Feed per record.
 func (sh *shard) processBatch(evs []trace.RecordEvent) {
 	now := sh.m.cfg.Clock()
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	for i := range evs {
-		sh.processLocked(now, &evs[i])
+	for i := 0; i < len(evs); {
+		j := i + 1
+		for j < len(evs) && evs[j].FlowID == evs[i].FlowID {
+			j++
+		}
+		for i < j {
+			i += sh.processRunLocked(now, evs[i:j])
+		}
 	}
 }
 
@@ -431,6 +504,7 @@ func (sh *shard) drainAndShutdown() {
 	}
 	for evs := range sh.inb {
 		sh.processBatch(evs)
+		sh.m.batchFree.put(evs)
 	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -451,6 +525,14 @@ func (sh *shard) process(ev *trace.RecordEvent) {
 // processLocked is process with the lock held and the wall clock
 // read, so a batch drain pays for both once.
 func (sh *shard) processLocked(now time.Time, ev *trace.RecordEvent) {
+	e := sh.admitLocked(now, ev)
+	sh.feedLocked(e, ev)
+}
+
+// admitLocked looks up ev's flow, admitting it (displacing the
+// least-recently-active flow when full) if new, refreshes its recency
+// and absorbs late-arriving meta facts. Callers hold sh.mu.
+func (sh *shard) admitLocked(now time.Time, ev *trace.RecordEvent) *flowEntry {
 	e := sh.flows[ev.FlowID]
 	if e == nil {
 		// Admission: displace the least-recently-active flow when full.
@@ -468,8 +550,9 @@ func (sh *shard) processLocked(now time.Time, ev *trace.RecordEvent) {
 		}
 		if sh.m.cfg.Triage != nil {
 			// Two-phase mode: the flow starts on the fast path; the
-			// analyzer is built lazily at first promotion.
-			e.tri = triage.NewFlow(*sh.m.cfg.Triage)
+			// analyzer is built lazily at first promotion. Ring backings
+			// come from the shard arena and return at eviction.
+			e.tri = triage.NewFlowIn(*sh.m.cfg.Triage, sh.arena)
 		} else {
 			e.inc = core.NewIncremental(sh.m.cfg.Analysis)
 			e.inc.SetMeta(e.meta)
@@ -486,28 +569,40 @@ func (sh *shard) processLocked(now time.Time, ev *trace.RecordEvent) {
 		if sh.lru.Front() != e.el {
 			sh.lru.MoveToFront(e.el)
 		}
-		// Late facts: the SYN's MSS, the client's initial window.
-		if (ev.MSS > 0 && ev.MSS != e.meta.MSS) || (ev.InitRwnd != 0 && e.meta.InitRwnd == 0) {
-			if ev.MSS > 0 {
-				e.meta.MSS = ev.MSS
-			}
-			if ev.InitRwnd != 0 && e.meta.InitRwnd == 0 {
-				e.meta.InitRwnd = ev.InitRwnd
-			}
-			if e.inc != nil {
-				e.inc.SetMeta(e.meta)
-			}
-		}
+		sh.absorbMetaLocked(e, ev)
 	}
 	e.lastSeen = now
+	return e
+}
 
-	cap := sh.m.cfg.MaxRecordsPerFlow
+// absorbMetaLocked folds late facts — the SYN's MSS, the client's
+// initial window — into an admitted flow. Callers hold sh.mu.
+func (sh *shard) absorbMetaLocked(e *flowEntry, ev *trace.RecordEvent) {
+	if (ev.MSS > 0 && ev.MSS != e.meta.MSS) || (ev.InitRwnd != 0 && e.meta.InitRwnd == 0) {
+		if ev.MSS > 0 {
+			e.meta.MSS = ev.MSS
+		}
+		if ev.InitRwnd != 0 && e.meta.InitRwnd == 0 {
+			e.meta.InitRwnd = ev.InitRwnd
+		}
+		if e.inc != nil {
+			e.inc.SetMeta(e.meta)
+		}
+	}
+}
+
+// feedLocked runs the cap check, the feed (triage fast path or
+// always-on analyzer) and the teardown check for one event of an
+// already-admitted flow, reporting whether the flow was evicted.
+// Callers hold sh.mu.
+func (sh *shard) feedLocked(e *flowEntry, ev *trace.RecordEvent) bool {
+	capRecs := sh.m.cfg.MaxRecordsPerFlow
 	over := false
-	if cap > 0 {
+	if capRecs > 0 {
 		if e.tri != nil {
-			over = e.tri.Total() >= uint64(cap)
+			over = e.tri.Total() >= uint64(capRecs)
 		} else {
-			over = e.inc.Records() >= cap
+			over = e.inc.Records() >= capRecs
 		}
 	}
 	switch {
@@ -525,7 +620,84 @@ func (sh *shard) processLocked(now time.Time, ev *trace.RecordEvent) {
 
 	if done := observeTeardown(e, ev); done || ev.FlowDone {
 		sh.evictLocked(e, EvictDone)
+		return true
 	}
+	return false
+}
+
+// processRunLocked processes a prefix of run — events that all carry
+// one flow ID — and returns how many it consumed. Always-on flows
+// take the FeedBatch path; triage flows stay per-record, since
+// Observe's symptom machine wants each record individually. A
+// teardown mid-run evicts the flow and returns early: the caller
+// re-enters with the remainder, which then opens a fresh flow exactly
+// as the per-record path would. Callers hold sh.mu.
+func (sh *shard) processRunLocked(now time.Time, run []trace.RecordEvent) int {
+	e := sh.admitLocked(now, &run[0])
+	if e.tri == nil {
+		return sh.feedRunLocked(e, run)
+	}
+	for i := range run {
+		if i > 0 {
+			sh.absorbMetaLocked(e, &run[i])
+		}
+		if sh.feedLocked(e, &run[i]) {
+			return i + 1
+		}
+	}
+	return len(run)
+}
+
+// feedRunLocked streams one always-on flow's run through FeedBatch:
+// records accumulate in the shard scratch buffer and flush at exactly
+// the boundaries where per-record processing would have acted — a
+// meta change (SetMeta must not overtake earlier records), the
+// per-flow record cap, teardown, and the end of the run. Returns how
+// many events it consumed. Callers hold sh.mu.
+func (sh *shard) feedRunLocked(e *flowEntry, run []trace.RecordEvent) int {
+	pending := sh.scratch[:0]
+	capRecs := sh.m.cfg.MaxRecordsPerFlow
+	consumed := len(run)
+	evict := false
+	for i := range run {
+		ev := &run[i]
+		if (ev.MSS > 0 && ev.MSS != e.meta.MSS) || (ev.InitRwnd != 0 && e.meta.InitRwnd == 0) {
+			if len(pending) > 0 {
+				e.inc.FeedBatch(pending)
+				sh.agg.recordsFed += uint64(len(pending))
+				pending = pending[:0]
+			}
+			if ev.MSS > 0 {
+				e.meta.MSS = ev.MSS
+			}
+			if ev.InitRwnd != 0 && e.meta.InitRwnd == 0 {
+				e.meta.InitRwnd = ev.InitRwnd
+			}
+			e.inc.SetMeta(e.meta)
+		}
+		if capRecs > 0 && e.inc.Records()+len(pending) >= capRecs {
+			// Elephant-flow guard: analysis covers the retained prefix.
+			e.truncated = true
+			e.dropped++
+			sh.agg.recordsCapDrop++
+		} else {
+			pending = append(pending, ev.Rec)
+		}
+		if done := observeTeardown(e, ev); done || ev.FlowDone {
+			consumed = i + 1
+			evict = true
+			break
+		}
+	}
+	if len(pending) > 0 {
+		e.inc.FeedBatch(pending)
+		sh.agg.recordsFed += uint64(len(pending))
+	}
+	sh.scratch = pending[:0]
+	if evict {
+		sh.evictLocked(e, EvictDone)
+	}
+	return consumed
 }
 
 // processTriagedLocked runs one record of a triage-mode flow: fast path
@@ -650,6 +822,9 @@ func (sh *shard) evictLocked(e *flowEntry, reason string) {
 		} else if e.inc != nil {
 			sh.parked--
 		}
+		// The summary and any replay are settled; the ring backing can
+		// go back to the shard arena for the next admitted flow.
+		e.tri.Release()
 	}
 	sh.agg.flowEvicted(reason, a, e.truncated)
 	if e.rec != nil {
@@ -661,6 +836,16 @@ func (sh *shard) evictLocked(e *flowEntry, reason string) {
 	if sh.m.cfg.OnFlow != nil {
 		sh.m.cfg.OnFlow(reason, a)
 	}
+}
+
+// satInt narrows a uint64 counter to int for reporting, saturating at
+// the platform maximum instead of wrapping negative.
+func satInt(u uint64) int {
+	const maxInt = int(^uint(0) >> 1)
+	if u > uint64(maxInt) {
+		return maxInt
+	}
+	return int(u)
 }
 
 // synthesizeSummary builds the eviction analysis for a flow the fast
@@ -898,7 +1083,7 @@ func infoOf(e *flowEntry) FlowInfo {
 	}
 	if e.tri != nil {
 		fi.Triaged = true
-		fi.Records = int(e.tri.Total())
+		fi.Records = satInt(e.tri.Total())
 		fi.DataBytes = e.tri.DataBytes()
 		fi.LastT = e.tri.LastT().Seconds()
 		fi.Promoted = e.promoted

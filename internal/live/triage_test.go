@@ -671,7 +671,7 @@ func decodeFuzzRecords(data []byte) []trace.Record {
 		if ctl&64 != 0 && len(data) >= 8 {
 			s := binary.LittleEndian.Uint32(data[0:4])
 			e := binary.LittleEndian.Uint32(data[4:8])
-			seg.SACK = []packet.SACKBlock{{Left: s, Right: e}}
+			seg.SACK = packet.SACKBlocks(packet.SACKBlock{Left: s, Right: e})
 			data = data[8:]
 		}
 		tt += sim.Time(dt) * sim.Time(time.Millisecond)

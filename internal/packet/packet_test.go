@@ -281,23 +281,23 @@ func TestTCPRoundTripAllOptions(t *testing.T) {
 func TestTCPSACKBlocks(t *testing.T) {
 	h := TCPHeader{
 		SrcPort: 1, DstPort: 2, Flags: FlagACK, Ack: 5000,
-		Options: TCPOptions{SACK: []SACKBlock{
-			{Left: 6000, Right: 7000},
-			{Left: 8000, Right: 9000},
-			{Left: 10000, Right: 11000},
-		}},
+		Options: TCPOptions{SACK: SACKBlocks(
+			SACKBlock{Left: 6000, Right: 7000},
+			SACKBlock{Left: 8000, Right: 9000},
+			SACKBlock{Left: 10000, Right: 11000},
+		)},
 	}
 	raw := h.AppendTo(nil, nil, checksumContext{})
 	var got TCPHeader
 	if _, err := got.DecodeFromBytes(raw); err != nil {
 		t.Fatal(err)
 	}
-	if len(got.Options.SACK) != 3 {
-		t.Fatalf("SACK blocks = %d", len(got.Options.SACK))
+	if got.Options.SACK.Len() != 3 {
+		t.Fatalf("SACK blocks = %d", got.Options.SACK.Len())
 	}
-	for i, want := range h.Options.SACK {
-		if got.Options.SACK[i] != want {
-			t.Errorf("SACK[%d] = %+v, want %+v", i, got.Options.SACK[i], want)
+	for i, want := range h.Options.SACK.Slice() {
+		if got.Options.SACK.At(i) != want {
+			t.Errorf("SACK[%d] = %+v, want %+v", i, got.Options.SACK.At(i), want)
 		}
 	}
 }
@@ -307,14 +307,14 @@ func TestTCPSACKBlockLimit(t *testing.T) {
 	for i := range blocks {
 		blocks[i] = SACKBlock{Left: uint32(i * 100), Right: uint32(i*100 + 50)}
 	}
-	h := TCPHeader{Flags: FlagACK, Options: TCPOptions{SACK: blocks}}
+	h := TCPHeader{Flags: FlagACK, Options: TCPOptions{SACK: SACKBlocks(blocks...)}}
 	raw := h.AppendTo(nil, nil, checksumContext{})
 	var got TCPHeader
 	if _, err := got.DecodeFromBytes(raw); err != nil {
 		t.Fatal(err)
 	}
-	if len(got.Options.SACK) != MaxSACKBlocks {
-		t.Errorf("encoded %d SACK blocks, want cap at %d", len(got.Options.SACK), MaxSACKBlocks)
+	if got.Options.SACK.Len() != MaxSACKBlocks {
+		t.Errorf("encoded %d SACK blocks, want cap at %d", got.Options.SACK.Len(), MaxSACKBlocks)
 	}
 }
 
@@ -483,7 +483,7 @@ func TestPropertyTCPRoundTrip(t *testing.T) {
 		}
 		n := int(nsack % (MaxSACKBlocks + 1))
 		for i := 0; i < n; i++ {
-			h.Options.SACK = append(h.Options.SACK,
+			h.Options.SACK.Append(
 				SACKBlock{Left: seq + uint32(i)*1000, Right: seq + uint32(i)*1000 + 500})
 		}
 		raw := h.AppendTo(nil, nil, checksumContext{})
@@ -504,11 +504,11 @@ func TestPropertyTCPRoundTrip(t *testing.T) {
 			o.HasTimestamps != w.HasTimestamps || o.TSVal != w.TSVal || o.TSEcr != w.TSEcr {
 			return false
 		}
-		if len(o.SACK) != h.sackBlocksThatFit() {
+		if o.SACK.Len() != h.sackBlocksThatFit() {
 			return false
 		}
-		for i := range o.SACK {
-			if o.SACK[i] != w.SACK[i] {
+		for i := 0; i < o.SACK.Len(); i++ {
+			if o.SACK.At(i) != w.SACK.At(i) {
 				return false
 			}
 		}

@@ -67,6 +67,55 @@ type SACKBlock struct {
 // MaxSACKBlocks is the most blocks that fit in the option space.
 const MaxSACKBlocks = 4
 
+// SACKList stores up to MaxSACKBlocks SACK edge pairs inline. The
+// wire format cannot carry more than 4 blocks in one header, so the
+// backing array lives inside the struct: copying a SACKList (and so a
+// Segment or TCPOptions) is a plain value copy with no heap backing
+// to allocate or alias. Append silently drops blocks past the cap,
+// which is exactly what a real header would have done on encode.
+//
+// Unused slots are always zero, so values with equal visible content
+// compare equal with == and reflect.DeepEqual.
+type SACKList struct {
+	n      uint8
+	blocks [MaxSACKBlocks]SACKBlock
+}
+
+// SACKBlocks builds a SACKList from loose blocks (test convenience).
+// Blocks past MaxSACKBlocks are dropped.
+func SACKBlocks(blocks ...SACKBlock) SACKList {
+	var l SACKList
+	for _, b := range blocks {
+		l.Append(b)
+	}
+	return l
+}
+
+// Len reports the number of stored blocks.
+func (l SACKList) Len() int { return int(l.n) }
+
+// At returns block i; i must be < Len().
+func (l SACKList) At(i int) SACKBlock { return l.blocks[i] }
+
+// Slice returns the stored blocks aliased over the receiver's inline
+// array — no allocation. The slice is invalidated by Reset/Append.
+func (l *SACKList) Slice() []SACKBlock { return l.blocks[:l.n] }
+
+// Append adds one block, dropping it silently once the list is full.
+func (l *SACKList) Append(b SACKBlock) {
+	if l.n < MaxSACKBlocks {
+		l.blocks[l.n] = b
+		l.n++
+	}
+}
+
+// Reset empties the list, zeroing the backing array so stale blocks
+// from a recycled frame can never leak into the next decode.
+func (l *SACKList) Reset() { *l = SACKList{} }
+
+// String renders the visible blocks like a slice would.
+func (l SACKList) String() string { return fmt.Sprint(l.blocks[:l.n]) }
+
 // TCPOptions carries the parsed TCP options relevant to the analysis.
 // Unknown options are skipped on decode and not round-tripped.
 type TCPOptions struct {
@@ -75,7 +124,7 @@ type TCPOptions struct {
 	WScale        uint8 // shift count
 	HasWScale     bool
 	SACKPermitted bool
-	SACK          []SACKBlock // nil when absent
+	SACK          SACKList // empty when absent
 	TSVal, TSEcr  uint32
 	HasTimestamps bool
 }
@@ -121,12 +170,9 @@ func (t *TCPHeader) fixedOptionsLen() int {
 // options). This mirrors real stacks, where timestamps squeeze the
 // SACK option down to 3 blocks.
 func (t *TCPHeader) sackBlocksThatFit() int {
-	ns := len(t.Options.SACK)
+	ns := t.Options.SACK.Len()
 	if ns == 0 {
 		return 0
-	}
-	if ns > MaxSACKBlocks {
-		ns = MaxSACKBlocks
 	}
 	budget := (maxOptionSpace - t.fixedOptionsLen() - 2) / 8
 	if ns > budget {
@@ -218,7 +264,7 @@ func (t *TCPHeader) decodeOptions(opts []byte) error {
 				return fmt.Errorf("tcp: %w (SACK option len %d)", ErrBadHeader, olen)
 			}
 			for i := 0; i < len(body); i += 8 {
-				t.Options.SACK = append(t.Options.SACK, SACKBlock{
+				t.Options.SACK.Append(SACKBlock{
 					Left:  binary.BigEndian.Uint32(body[i:]),
 					Right: binary.BigEndian.Uint32(body[i+4:]),
 				})
@@ -258,7 +304,7 @@ func (t *TCPHeader) appendOptions(b []byte) []byte {
 	}
 	if n := t.sackBlocksThatFit(); n > 0 {
 		b = append(b, OptKindSACK, byte(2+8*n))
-		for _, blk := range t.Options.SACK[:n] {
+		for _, blk := range t.Options.SACK.Slice()[:n] {
 			b = binary.BigEndian.AppendUint32(b, blk.Left)
 			b = binary.BigEndian.AppendUint32(b, blk.Right)
 		}

@@ -515,9 +515,6 @@ func (c *Conn) record(dir Dir, seg *Segment) {
 	if c.sink == nil {
 		return
 	}
-	cp := *seg
-	if len(seg.SACK) > 0 {
-		cp.SACK = append([]packet.SACKBlock(nil), seg.SACK...)
-	}
-	c.sink.Record(c.sm.Now(), dir, cp)
+	// Segment stores SACK blocks inline, so a value copy is deep.
+	c.sink.Record(c.sm.Now(), dir, *seg)
 }

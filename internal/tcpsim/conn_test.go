@@ -575,7 +575,7 @@ func TestSegmentHelpers(t *testing.T) {
 	if d.WireSize() != 14+20+20+50 {
 		t.Errorf("WireSize = %d", d.WireSize())
 	}
-	withSack := Segment{SACK: []packet.SACKBlock{{Left: 1, Right: 2}}}
+	withSack := Segment{SACK: packet.SACKBlocks(packet.SACKBlock{Left: 1, Right: 2})}
 	if withSack.WireSize() <= 54 {
 		t.Errorf("SACK wire size = %d", withSack.WireSize())
 	}

@@ -391,14 +391,14 @@ func (r *Receiver) sendAck(dsack *span) {
 	}
 	if r.cfg.SACK {
 		if dsack != nil {
-			seg.SACK = append(seg.SACK, packet.SACKBlock{Left: uint32(dsack.l), Right: uint32(dsack.r)})
+			seg.SACK.Append(packet.SACKBlock{Left: uint32(dsack.l), Right: uint32(dsack.r)})
 		}
-		max := packet.MaxSACKBlocks - len(seg.SACK)
+		max := packet.MaxSACKBlocks - seg.SACK.Len()
 		for i, sp := range r.ooo {
 			if i >= max {
 				break
 			}
-			seg.SACK = append(seg.SACK, packet.SACKBlock{Left: uint32(sp.l), Right: uint32(sp.r)})
+			seg.SACK.Append(packet.SACKBlock{Left: uint32(sp.l), Right: uint32(sp.r)})
 		}
 	}
 	if w == 0 {

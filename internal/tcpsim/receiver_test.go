@@ -20,11 +20,8 @@ func newReceiverRig(cfg ReceiverConfig) *receiverRig {
 	s := sim.New()
 	r := &receiverRig{sim: s, rcv: NewReceiver(s, cfg, 1)}
 	r.rcv.Output = func(seg *Segment) {
-		cp := *seg
-		if len(seg.SACK) > 0 {
-			cp.SACK = append([]packet.SACKBlock(nil), seg.SACK...)
-		}
-		r.acks = append(r.acks, cp)
+		// Inline SACK storage: a value copy is deep.
+		r.acks = append(r.acks, *seg)
 	}
 	return r
 }
@@ -79,13 +76,13 @@ func TestReceiverOutOfOrderSACK(t *testing.T) {
 	if a.Ack != 2921 {
 		t.Fatalf("dupack cum = %d", a.Ack)
 	}
-	if len(a.SACK) != 1 || a.SACK[0] != (packet.SACKBlock{Left: 4381, Right: 5841}) {
+	if a.SACK.Len() != 1 || a.SACK.At(0) != (packet.SACKBlock{Left: 4381, Right: 5841}) {
 		t.Fatalf("SACK = %v", a.SACK)
 	}
 	// Second ooo range: most recent block first.
 	r.data(8761, 1460)
 	a = r.lastAck(t)
-	if len(a.SACK) != 2 || a.SACK[0].Left != 8761 || a.SACK[1].Left != 4381 {
+	if a.SACK.Len() != 2 || a.SACK.At(0).Left != 8761 || a.SACK.At(1).Left != 4381 {
 		t.Fatalf("SACK recency order = %v", a.SACK)
 	}
 	// Fill the first hole: rcvNxt jumps over the merged range.
@@ -104,7 +101,7 @@ func TestReceiverAdjacentOOOMerge(t *testing.T) {
 	r.data(2921, 1460)
 	r.data(4381, 1460)
 	a := r.lastAck(t)
-	if len(a.SACK) != 1 || a.SACK[0] != (packet.SACKBlock{Left: 2921, Right: 5841}) {
+	if a.SACK.Len() != 1 || a.SACK.At(0) != (packet.SACKBlock{Left: 2921, Right: 5841}) {
 		t.Fatalf("adjacent spans should merge: %v", a.SACK)
 	}
 }
@@ -119,10 +116,10 @@ func TestReceiverDSACKOnDuplicate(t *testing.T) {
 		t.Fatal("duplicate must be ACKed immediately")
 	}
 	a := r.lastAck(t)
-	if len(a.SACK) == 0 || a.SACK[0] != (packet.SACKBlock{Left: 1, Right: 1461}) {
+	if a.SACK.Len() == 0 || a.SACK.At(0) != (packet.SACKBlock{Left: 1, Right: 1461}) {
 		t.Fatalf("DSACK = %v", a.SACK)
 	}
-	if a.SACK[0].Right > a.Ack == false && a.Ack < a.SACK[0].Right {
+	if a.SACK.At(0).Right > a.Ack == false && a.Ack < a.SACK.At(0).Right {
 		t.Error("DSACK block must sit at/below the cumulative ACK")
 	}
 	if r.rcv.Stats().DSACKsSent != 1 {

@@ -51,9 +51,11 @@ type Segment struct {
 	Len int
 	// Wnd is the advertised receive window in bytes.
 	Wnd int
-	// SACK carries selective acknowledgment blocks; a DSACK is
-	// signalled by a first block at or below Ack.
-	SACK []packet.SACKBlock
+	// SACK carries selective acknowledgment blocks inline (a DSACK is
+	// signalled by a first block at or below Ack). Inline storage
+	// makes Segment a plain value: copying a record never allocates
+	// and never aliases another record's blocks.
+	SACK packet.SACKList
 	// TSVal is the sender's clock at transmit time and TSEcr the
 	// echoed peer timestamp (RFC 7323). The simulator uses virtual
 	// time directly; the trace exporter converts to millisecond
@@ -75,11 +77,7 @@ func (s *Segment) End() uint32 {
 // accounting: Ethernet + IPv4 + TCP (with SACK options) + payload.
 func (s *Segment) WireSize() int {
 	n := packet.EthernetHeaderLen + packet.IPv4HeaderLen + packet.TCPHeaderLen + s.Len
-	if len(s.SACK) > 0 {
-		blocks := len(s.SACK)
-		if blocks > packet.MaxSACKBlocks {
-			blocks = packet.MaxSACKBlocks
-		}
+	if blocks := s.SACK.Len(); blocks > 0 {
 		n += 4 + 8*blocks // kind+len+2 NOPs alignment, blocks
 	}
 	return n

@@ -752,7 +752,7 @@ func (s *Sender) isDupAck(seg *Segment, ack uint64, prevRwnd int, sackedNew bool
 	if seg.Len != 0 || ack != s.maxAckSeen {
 		return false
 	}
-	if seg.Wnd != prevRwnd && !sackedNew && len(seg.SACK) == 0 {
+	if seg.Wnd != prevRwnd && !sackedNew && seg.SACK.Len() == 0 {
 		return false // pure window update
 	}
 	return true
@@ -762,7 +762,7 @@ func (s *Sender) isDupAck(seg *Segment, ack uint64, prevRwnd int, sackedNew bool
 // It reports whether a DSACK was present and whether any new segment
 // got SACKed.
 func (s *Sender) applySACK(seg *Segment) (dsack, sackedNew bool) {
-	blocks := seg.SACK
+	blocks := seg.SACK.Slice()
 	if len(blocks) == 0 {
 		return false, false
 	}

@@ -33,7 +33,7 @@ func (r *senderRig) ackUpTo(seq uint32, wnd int) {
 
 // dupack delivers a duplicate ACK carrying one SACK block.
 func (r *senderRig) dupack(ack uint32, wnd int, blocks ...packet.SACKBlock) {
-	r.snd.HandleAck(&Segment{Flags: packet.FlagACK, Ack: ack, Wnd: wnd, SACK: blocks})
+	r.snd.HandleAck(&Segment{Flags: packet.FlagACK, Ack: ack, Wnd: wnd, SACK: packet.SACKBlocks(blocks...)})
 }
 
 func TestSenderWriteSegmentation(t *testing.T) {
@@ -249,7 +249,7 @@ func TestSenderDSACKUndo(t *testing.T) {
 	// Late ACK covers everything and DSACKs the spurious copy.
 	r.snd.HandleAck(&Segment{
 		Flags: packet.FlagACK, Ack: 1 + 3*1460, Wnd: 1 << 20,
-		SACK: []packet.SACKBlock{{Left: 1461, Right: 2921}}, // below ack ⇒ DSACK
+		SACK: packet.SACKBlocks(packet.SACKBlock{Left: 1461, Right: 2921}), // below ack ⇒ DSACK
 	})
 	if r.snd.Stats().SpuriousRetrans == 0 {
 		t.Error("spurious retransmission not detected")

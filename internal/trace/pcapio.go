@@ -106,9 +106,12 @@ func ExportPcap(w io.Writer, flows []*Flow, cfg ExportConfig) error {
 			tcp.Options.TSVal = tsTicks(r.Seg.TSVal)
 			tcp.Options.TSEcr = tsTicks(r.Seg.TSEcr)
 		}
-		if len(r.Seg.SACK) > 0 {
-			tcp.Options.SACK = append(tcp.Options.SACK, r.Seg.SACK...)
-		}
+		// Reset before copying: tcp is rebuilt per record today, but
+		// a recycled header with a stale block would silently corrupt
+		// the importer's scoreboard walk, so make the contract
+		// explicit. Inline storage means this is a plain value copy.
+		tcp.Options.SACK.Reset()
+		tcp.Options.SACK = r.Seg.SACK
 		if r.Seg.Flags.Has(packet.FlagSYN) {
 			tcp.Options.HasMSS = true
 			tcp.Options.MSS = uint16(mssOf(f))
@@ -282,9 +285,10 @@ func decodeTCP(data []byte, raw bool, serverPort uint16) (decodedRecord, bool) {
 		dr.seg.TSVal = ticksToTime(fr.TCP.Options.TSVal)
 		dr.seg.TSEcr = ticksToTime(fr.TCP.Options.TSEcr)
 	}
-	if len(fr.TCP.Options.SACK) > 0 {
-		dr.seg.SACK = append(dr.seg.SACK, fr.TCP.Options.SACK...)
-	}
+	// Value copy — dr.seg was freshly assigned above, and inline
+	// storage guarantees the blocks never alias the decode frame,
+	// even when fr is recycled across packets.
+	dr.seg.SACK = fr.TCP.Options.SACK
 	if fr.TCP.Options.HasMSS && fr.TCP.Options.MSS > 0 {
 		dr.mss = int(fr.TCP.Options.MSS)
 	}

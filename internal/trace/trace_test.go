@@ -123,11 +123,11 @@ func TestPcapRoundTrip(t *testing.T) {
 		if g.Seg.Wnd != clampWnd(w.Seg.Wnd) {
 			t.Fatalf("record %d wnd %d, want %d", i, g.Seg.Wnd, w.Seg.Wnd)
 		}
-		if len(g.Seg.SACK) != len(w.Seg.SACK) {
-			t.Fatalf("record %d SACK count %d, want %d", i, len(g.Seg.SACK), len(w.Seg.SACK))
+		if g.Seg.SACK.Len() != w.Seg.SACK.Len() {
+			t.Fatalf("record %d SACK count %d, want %d", i, g.Seg.SACK.Len(), w.Seg.SACK.Len())
 		}
-		for bi := range g.Seg.SACK {
-			if g.Seg.SACK[bi] != w.Seg.SACK[bi] {
+		for bi := 0; bi < g.Seg.SACK.Len(); bi++ {
+			if g.Seg.SACK.At(bi) != w.Seg.SACK.At(bi) {
 				t.Fatalf("record %d SACK[%d] mismatch", i, bi)
 			}
 		}
@@ -349,5 +349,60 @@ func TestImportSkipsGarbageFrames(t *testing.T) {
 	}
 	if len(flows) != 0 {
 		t.Errorf("flows = %d from garbage", len(flows))
+	}
+}
+
+// TestPcapRoundTripBackToBackSACK is the regression test for the SACK
+// reuse bug: consecutive SACK-carrying ACKs where a later record
+// carries FEWER blocks than its predecessor. With slice-append reuse
+// in the export/import structs, a stale block from the previous
+// record would survive into the next one and silently corrupt the
+// scoreboard walk; inline SACK storage plus the explicit reset makes
+// each record's list exact.
+func TestPcapRoundTripBackToBackSACK(t *testing.T) {
+	sack := func(blocks ...packet.SACKBlock) packet.SACKList {
+		return packet.SACKBlocks(blocks...)
+	}
+	ms := func(n int) sim.Time { return sim.Time(time.Duration(n) * time.Millisecond) }
+	f := &Flow{ID: "t-0", Service: "test", MSS: 1460, InitRwnd: 65535, Done: true}
+	f.Records = []Record{
+		{T: ms(0), Dir: tcpsim.DirIn, Seg: tcpsim.Segment{Flags: packet.FlagSYN, Seq: 0, Wnd: 65535}},
+		{T: ms(1), Dir: tcpsim.DirOut, Seg: tcpsim.Segment{Flags: packet.FlagSYN | packet.FlagACK, Seq: 0, Ack: 1, Wnd: 65535}},
+		{T: ms(2), Dir: tcpsim.DirIn, Seg: tcpsim.Segment{Flags: packet.FlagACK, Seq: 1, Ack: 1, Wnd: 65535}},
+		{T: ms(3), Dir: tcpsim.DirOut, Seg: tcpsim.Segment{Flags: packet.FlagACK, Seq: 1, Ack: 1, Len: 1460, Wnd: 65535}},
+		{T: ms(4), Dir: tcpsim.DirOut, Seg: tcpsim.Segment{Flags: packet.FlagACK, Seq: 1461, Ack: 1, Len: 1460, Wnd: 65535}},
+		// Three blocks, then one, then none, then two: every
+		// transition where stale state could leak.
+		{T: ms(5), Dir: tcpsim.DirIn, Seg: tcpsim.Segment{Flags: packet.FlagACK, Seq: 1, Ack: 1, Wnd: 65535,
+			SACK: sack(packet.SACKBlock{Left: 2921, Right: 4381},
+				packet.SACKBlock{Left: 5841, Right: 7301},
+				packet.SACKBlock{Left: 8761, Right: 10221})}},
+		{T: ms(6), Dir: tcpsim.DirIn, Seg: tcpsim.Segment{Flags: packet.FlagACK, Seq: 1, Ack: 1, Wnd: 65535,
+			SACK: sack(packet.SACKBlock{Left: 2921, Right: 5841})}},
+		{T: ms(7), Dir: tcpsim.DirIn, Seg: tcpsim.Segment{Flags: packet.FlagACK, Seq: 1, Ack: 5841, Wnd: 65535}},
+		{T: ms(8), Dir: tcpsim.DirIn, Seg: tcpsim.Segment{Flags: packet.FlagACK, Seq: 1, Ack: 5841, Wnd: 65535,
+			SACK: sack(packet.SACKBlock{Left: 7301, Right: 8761},
+				packet.SACKBlock{Left: 10221, Right: 11681})}},
+	}
+	var buf bytes.Buffer
+	if err := ExportPcap(&buf, []*Flow{f}, ExportConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	flows, err := ImportPcap(&buf, ImportConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 1 {
+		t.Fatalf("imported %d flows", len(flows))
+	}
+	got := flows[0]
+	if len(got.Records) != len(f.Records) {
+		t.Fatalf("record count %d, want %d", len(got.Records), len(f.Records))
+	}
+	for i := range got.Records {
+		g, w := got.Records[i].Seg.SACK, f.Records[i].Seg.SACK
+		if g != w {
+			t.Errorf("record %d SACK %v, want %v (stale blocks leaked?)", i, g, w)
+		}
 	}
 }

@@ -121,11 +121,11 @@ func (c Config) withDefaults() Config {
 // slot is one buffered record, stored field-flat and pointer-free:
 // the rings dominate the monitor's heap in triage mode, and an array
 // the garbage collector never has to scan keeps GC cost independent
-// of how much history the fast path retains. SACK blocks are copied
-// inline (TCP option space allows at most 4), so a retained record
-// never aliases caller memory and the steady-state push allocates
-// nothing; the rare >4-block record parks its copy in the Flow's
-// overflow map.
+// of how much history the fast path retains. SACK blocks live inline
+// in the Segment itself (packet.SACKList caps at the wire limit of
+// 4), so storing and materializing a record is a plain value copy:
+// retained records never alias caller memory and the steady-state
+// push allocates nothing.
 type slot struct {
 	t     sim.Time
 	tsVal sim.Time
@@ -136,8 +136,7 @@ type slot struct {
 	wnd   int32
 	flags packet.TCPFlags
 	dir   tcpsim.Dir
-	sackN int8 // -1: overflow copy held in Flow.overflow
-	sack  [4]packet.SACKBlock
+	sack  packet.SACKList
 }
 
 // Flow is one connection's fast-path state. Not safe for concurrent
@@ -194,15 +193,10 @@ type Flow struct {
 	fed       uint64
 	attached  bool
 	truncated bool
-	// spillSack backs the SACK slice of the record Observe returns
-	// when the ring overwrites an unfed record; the caller must feed
-	// it before the next Observe.
-	spillSack [4]packet.SACKBlock
-	// overflow holds the SACK copies of the rare records carrying
-	// more than 4 blocks (impossible on the wire, possible in
-	// hand-built traces), keyed by absolute record index so the ring
-	// slots stay pointer-free. Nil until first needed.
-	overflow map[uint64][]packet.SACKBlock
+
+	// arena, when set, recycles ring backings across flows (see
+	// Arena). Nil means plain allocation.
+	arena *Arena
 }
 
 // NewFlow returns a fast-path tracker. The ring grows geometrically
@@ -222,6 +216,8 @@ func (f *Flow) Config() Config { return f.cfg }
 // (spilled=true) and already accounted as fed — the caller must feed
 // it to the parked analyzer before the next Observe, which keeps
 // repromotion byte-identical to always-on analysis at bounded lag.
+//
+// tapo:hotpath
 func (f *Flow) Observe(r *trace.Record) (sym Symptom, spill trace.Record, spilled bool) {
 	sym = f.observe(r)
 	spill, spilled = f.buffer(r)
@@ -232,6 +228,8 @@ func (f *Flow) Observe(r *trace.Record) (sym Symptom, spill trace.Record, spille
 // observe updates the fast state and detects symptoms. Checks run
 // against the pre-record state, exactly as the analyzer evaluates its
 // stall threshold before processing the record that closes the gap.
+//
+// tapo:hotpath
 func (f *Flow) observe(r *trace.Record) Symptom {
 	sym := SymNone
 	if f.total > 0 && r.T.Sub(f.lastT) > f.threshold() {
@@ -315,7 +313,7 @@ func (f *Flow) observe(r *trace.Record) Symptom {
 					f.sample(s)
 				}
 			case ack == f.ackHi && seg.Len == 0 && f.outstanding() &&
-				(len(seg.SACK) > 0 || seg.Wnd == f.prevWnd):
+				(seg.SACK.Len() > 0 || seg.Wnd == f.prevWnd):
 				// The analyzer's duplicate-ACK test, minus the
 				// scoreboard: window updates don't count.
 				f.dupStreak++
@@ -344,6 +342,8 @@ func (f *Flow) observe(r *trace.Record) Symptom {
 
 // outstanding reports whether sent data is not yet cumulatively
 // acknowledged.
+//
+// tapo:hotpath
 func (f *Flow) outstanding() bool {
 	return f.haveOut && (!f.haveAck || f.ackHi < f.sndNxt)
 }
@@ -365,6 +365,8 @@ func (f *Flow) outstanding() bool {
 //
 // Therefore every record that closes a stall in the full analyzer
 // raises SymGap here: no stall escapes promotion.
+//
+// tapo:hotpath
 func (f *Flow) threshold() time.Duration {
 	if !f.hasRTT {
 		return f.cfg.InitRTO
@@ -379,6 +381,8 @@ func (f *Flow) threshold() time.Duration {
 // noAdvanceHold is the SymNoAdvance patience: well above the gap
 // threshold, so it only catches flows whose records keep flowing
 // while the cumulative ACK stays pinned.
+//
+// tapo:hotpath
 func (f *Flow) noAdvanceHold() time.Duration {
 	h := 4 * f.threshold()
 	if h < f.cfg.MinRTO {
@@ -389,6 +393,8 @@ func (f *Flow) noAdvanceHold() time.Duration {
 
 // sample folds one RTT lower-bound sample in, ignoring non-positive
 // values exactly as the analyzer's rttSample does.
+//
+// tapo:hotpath
 func (f *Flow) sample(s time.Duration) {
 	if s <= 0 {
 		return
@@ -399,11 +405,31 @@ func (f *Flow) sample(s time.Duration) {
 	}
 }
 
+// satInt narrows a uint64 to int, saturating at MaxInt instead of
+// truncating. The ring invariants keep every narrowed difference
+// below RingCap, but on 32-bit platforms a broken invariant would
+// otherwise wrap silently into a negative index.
+//
+// tapo:hotpath
+func satInt(u uint64) int {
+	const maxInt = int(^uint(0) >> 1)
+	if u > uint64(maxInt) {
+		return maxInt
+	}
+	return int(u)
+}
+
 // retained is the number of records currently in the ring.
-func (f *Flow) retained() int { return int(f.total - f.ringStart) }
+//
+// tapo:hotpath
+func (f *Flow) retained() int { return satInt(f.total - f.ringStart) }
 
 // buffer appends r to the ring, growing it geometrically up to
-// RingCap, then overwriting the oldest record.
+// RingCap, then overwriting the oldest record. Steady state (ring at
+// capacity) allocates nothing; growth is delegated to grow so the
+// amortized allocation stays off this path's body.
+//
+// tapo:hotpath
 func (f *Flow) buffer(r *trace.Record) (spill trace.Record, spilled bool) {
 	n := f.retained()
 	if n == len(f.ring) && len(f.ring) < f.cfg.RingCap {
@@ -415,28 +441,24 @@ func (f *Flow) buffer(r *trace.Record) (spill trace.Record, spilled bool) {
 		// analyzer (the flow is parked), hand it back for immediate
 		// trickle-feeding so exactness survives at bounded lag.
 		if f.attached && f.fed == f.ringStart {
+			// materialize is a value copy (SACK inline), so the spill
+			// stays valid after the slot is overwritten below.
 			spill = f.materialize(f.head)
-			nsack := copy(f.spillSack[:], spill.Seg.SACK)
-			if nsack > 0 && f.ring[f.head].sackN >= 0 {
-				spill.Seg.SACK = f.spillSack[:nsack]
-			}
 			spilled = true
 			f.fed++
 		}
-		if f.ring[f.head].sackN < 0 {
-			delete(f.overflow, f.ringStart)
-		}
-		f.write(f.head, f.total, r)
+		f.write(f.head, r)
 		f.head = (f.head + 1) % len(f.ring)
 		f.ringStart++
 		return spill, spilled
 	}
-	f.write((f.head+n)%len(f.ring), f.total, r)
+	f.write((f.head+n)%len(f.ring), r)
 	return spill, spilled
 }
 
 // grow doubles the ring (capped at RingCap), re-laying retained
-// records out from slot 0.
+// records out from slot 0. The outgrown backing goes back to the
+// arena for the next flow.
 func (f *Flow) grow() {
 	newCap := 2 * len(f.ring)
 	if newCap == 0 {
@@ -445,18 +467,21 @@ func (f *Flow) grow() {
 	if newCap > f.cfg.RingCap {
 		newCap = f.cfg.RingCap
 	}
-	fresh := make([]slot, newCap)
+	fresh := f.arena.get(newCap)
 	n := f.retained()
 	for i := 0; i < n; i++ {
 		fresh[i] = f.ring[(f.head+i)%len(f.ring)]
 	}
+	f.arena.put(f.ring)
 	f.ring = fresh
 	f.head = 0
 }
 
-// write stores r into slot i (absolute record index abs), copying
-// SACK blocks inline.
-func (f *Flow) write(i int, abs uint64, r *trace.Record) {
+// write stores r into slot i, SACK blocks included — one flat value
+// copy, no pointers, no allocation.
+//
+// tapo:hotpath
+func (f *Flow) write(i int, r *trace.Record) {
 	s := &f.ring[i]
 	s.t = r.T
 	s.tsVal = r.Seg.TSVal
@@ -467,26 +492,16 @@ func (f *Flow) write(i int, abs uint64, r *trace.Record) {
 	s.wnd = int32(r.Seg.Wnd)
 	s.flags = r.Seg.Flags
 	s.dir = r.Dir
-	switch n := len(r.Seg.SACK); {
-	case n == 0:
-		s.sackN = 0
-	case n <= len(s.sack):
-		copy(s.sack[:], r.Seg.SACK)
-		s.sackN = int8(n)
-	default:
-		if f.overflow == nil {
-			f.overflow = map[uint64][]packet.SACKBlock{}
-		}
-		f.overflow[abs] = append([]packet.SACKBlock(nil), r.Seg.SACK...)
-		s.sackN = -1
-	}
+	s.sack = r.Seg.SACK
 }
 
-// materialize rebuilds slot i's record, with the SACK slice pointing
-// into the slot's inline array (valid until the slot is overwritten).
+// materialize rebuilds slot i's record by value: the result owns its
+// SACK blocks and stays valid after the slot is overwritten.
+//
+// tapo:hotpath
 func (f *Flow) materialize(i int) trace.Record {
 	s := &f.ring[i]
-	r := trace.Record{
+	return trace.Record{
 		T:   s.t,
 		Dir: s.dir,
 		Seg: tcpsim.Segment{
@@ -495,18 +510,11 @@ func (f *Flow) materialize(i int) trace.Record {
 			Ack:   s.ack,
 			Len:   int(s.len),
 			Wnd:   int(s.wnd),
+			SACK:  s.sack,
 			TSVal: s.tsVal,
 			TSEcr: s.tsEcr,
 		},
 	}
-	switch {
-	case s.sackN > 0:
-		r.Seg.SACK = s.sack[:s.sackN]
-	case s.sackN < 0:
-		abs := f.ringStart + uint64((i-f.head+len(f.ring))%len(f.ring))
-		r.Seg.SACK = f.overflow[abs]
-	}
-	return r
 }
 
 // Attach marks the flow promoted: from now on ReplayUnfed feeds the
@@ -528,12 +536,15 @@ func (f *Flow) Attach() (truncated bool) {
 
 // ReplayUnfed hands every buffered record the analyzer has not seen
 // yet to fn, in capture order. The record pointer is only valid for
-// the duration of the call. Promoted callers invoke it once per
+// the duration of the call (the value is a self-contained copy — its
+// SACK blocks are inline). Promoted callers invoke it once per
 // Observe (feeding exactly the new record); repromotion replays the
 // whole parked suffix.
 func (f *Flow) ReplayUnfed(fn func(*trace.Record)) {
 	for f.fed < f.total {
-		i := (f.head + int(f.fed-f.ringStart)) % len(f.ring)
+		// fed-ringStart < len(ring) by the ring invariant; the modulo
+		// keeps the narrowing provably in range even on 32-bit ints.
+		i := (f.head + satInt((f.fed-f.ringStart)%uint64(len(f.ring)))) % len(f.ring)
 		r := f.materialize(i)
 		fn(&r)
 		f.fed++
@@ -573,7 +584,7 @@ func (f *Flow) DataBytes() int64 {
 // OutDataSegments counts outgoing data segments. For a flow that
 // never raised SymRetrans every one is distinct (a repeat would sit
 // below the send edge), so this equals the analyzer's DataPackets.
-func (f *Flow) OutDataSegments() int { return int(f.outDataSegs) }
+func (f *Flow) OutDataSegments() int { return satInt(f.outDataSegs) }
 
 // LastSymptom is the most recent non-SymNone symptom (SymNone before
 // the first).

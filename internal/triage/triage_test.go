@@ -179,7 +179,7 @@ func TestSymDupAck(t *testing.T) {
 	dup := func(tms int) trace.Record {
 		return rec(tms, tcpsim.DirIn, tcpsim.Segment{
 			Flags: packet.FlagACK, Ack: 1001, Wnd: 65535,
-			SACK: []packet.SACKBlock{{Left: 2001, Right: 3001}},
+			SACK: packet.SACKBlocks(packet.SACKBlock{Left: 2001, Right: 3001}),
 		})
 	}
 	d1 := dup(11)
@@ -295,7 +295,7 @@ func TestSpillWhileParked(t *testing.T) {
 	mk := func(i int) trace.Record {
 		return rec(i, tcpsim.DirOut, tcpsim.Segment{
 			Seq: uint32(1 + i*100), Len: 100, Wnd: 65535,
-			SACK: []packet.SACKBlock{{Left: uint32(i), Right: uint32(i + 1)}},
+			SACK: packet.SACKBlocks(packet.SACKBlock{Left: uint32(i), Right: uint32(i + 1)}),
 		})
 	}
 	for i := 0; i < 4; i++ {
@@ -326,7 +326,7 @@ func TestSpillWhileParked(t *testing.T) {
 	if spill.Seg.Seq != 401 {
 		t.Fatalf("spilled Seq=%d, want 401 (record 4)", spill.Seg.Seq)
 	}
-	if len(spill.Seg.SACK) != 1 || spill.Seg.SACK[0].Left != 4 {
+	if spill.Seg.SACK.Len() != 1 || spill.Seg.SACK.At(0).Left != 4 {
 		t.Fatalf("spilled SACK=%v, want [{4 5}]", spill.Seg.SACK)
 	}
 	if f.Fed() != 5 {
@@ -347,16 +347,18 @@ func TestSpillWhileParked(t *testing.T) {
 }
 
 // TestSACKInlineCopy: buffered SACK blocks must not alias the
-// caller's slice.
+// caller's record — the caller may reuse it immediately.
 func TestSACKInlineCopy(t *testing.T) {
 	f := NewFlow(Config{RingCap: 8})
-	sack := []packet.SACKBlock{{Left: 10, Right: 20}}
-	r := rec(0, tcpsim.DirIn, tcpsim.Segment{Flags: packet.FlagACK, Ack: 1, Wnd: 65535, SACK: sack})
+	r := rec(0, tcpsim.DirIn, tcpsim.Segment{
+		Flags: packet.FlagACK, Ack: 1, Wnd: 65535,
+		SACK: packet.SACKBlocks(packet.SACKBlock{Left: 10, Right: 20}),
+	})
 	f.Observe(&r)
-	sack[0].Left = 999 // caller reuses its buffer
+	r.Seg.SACK = packet.SACKBlocks(packet.SACKBlock{Left: 999, Right: 1000}) // caller reuses its record
 	f.Attach()
 	f.ReplayUnfed(func(r *trace.Record) {
-		if len(r.Seg.SACK) != 1 || r.Seg.SACK[0].Left != 10 {
+		if r.Seg.SACK.Len() != 1 || r.Seg.SACK.At(0).Left != 10 {
 			t.Fatalf("replayed SACK %v aliases caller memory", r.Seg.SACK)
 		}
 	})
@@ -372,8 +374,10 @@ func TestZeroAlloc(t *testing.T) {
 		r := rec(i, tcpsim.DirOut, tcpsim.Segment{Seq: uint32(1 + i*100), Len: 100, Wnd: 65535})
 		f.Observe(&r)
 	}
-	sack := [1]packet.SACKBlock{{Left: 5000, Right: 6000}}
-	r := rec(33, tcpsim.DirIn, tcpsim.Segment{Flags: packet.FlagACK, Ack: 1001, Wnd: 65535, SACK: sack[:]})
+	r := rec(33, tcpsim.DirIn, tcpsim.Segment{
+		Flags: packet.FlagACK, Ack: 1001, Wnd: 65535,
+		SACK: packet.SACKBlocks(packet.SACKBlock{Left: 5000, Right: 6000}),
+	})
 	allocs := testing.AllocsPerRun(100, func() {
 		f.Observe(&r)
 	})
@@ -439,5 +443,88 @@ func TestSymptomStrings(t *testing.T) {
 	}
 	if Symptom(200).String() != "unknown" {
 		t.Fatal("out-of-range symptom must stringify as unknown")
+	}
+}
+
+// TestSatInt: the saturating narrowing helper clamps at the platform
+// maximum instead of wrapping negative — the fast path narrows
+// ever-growing uint64 counters to int in several places, and a wrap
+// would turn retained() negative or send a ring index out of range.
+func TestSatInt(t *testing.T) {
+	const maxInt = int(^uint(0) >> 1)
+	cases := []struct {
+		in   uint64
+		want int
+	}{
+		{0, 0},
+		{123, 123},
+		{uint64(maxInt), maxInt},
+		{uint64(maxInt) + 1, maxInt},
+		{^uint64(0), maxInt},
+	}
+	for _, c := range cases {
+		if got := satInt(c.in); got != c.want {
+			t.Fatalf("satInt(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// TestCountersPast2to31: total/ringStart/fed are absolute uint64
+// indices that only grow for the life of a flow. Advance them past
+// 2^31 and 2^32 — preserving the ring invariants, so the state is one
+// a sufficiently long-lived connection genuinely reaches — and check
+// that retained accounting, attach, replay indexing and continued
+// observation all still behave. Before the saturating helpers, the
+// int narrowings here truncated on 32-bit platforms.
+func TestCountersPast2to31(t *testing.T) {
+	f := NewFlow(Config{RingCap: 32})
+	var recs []trace.Record
+	for i := 0; i < 100; i++ {
+		recs = append(recs, rec(i, tcpsim.DirOut, tcpsim.Segment{Seq: uint32(1 + i*100), Len: 100, Wnd: 65535}))
+	}
+	for i := range recs {
+		f.Observe(&recs[i])
+	}
+	const jump = uint64(1)<<32 + uint64(1)<<31
+	f.total += jump
+	f.ringStart += jump
+	f.outDataSegs += jump
+	if got := f.retained(); got != 32 {
+		t.Fatalf("retained=%d past 2^31, want 32", got)
+	}
+	if got := f.OutDataSegments(); got <= 0 {
+		t.Fatalf("OutDataSegments=%d past 2^31, want positive", got)
+	}
+	if !f.Attach() {
+		t.Fatal("Attach on an overflowed ring must report truncation")
+	}
+	var got []trace.Record
+	f.ReplayUnfed(func(r *trace.Record) { got = append(got, *r) })
+	if len(got) != 32 {
+		t.Fatalf("replayed %d records, want 32", len(got))
+	}
+	for i, r := range got {
+		want := recs[100-32+i]
+		if r.T != want.T || r.Seg.Seq != want.Seg.Seq {
+			t.Fatalf("replay[%d] = {T:%v Seq:%d}, want {T:%v Seq:%d}",
+				i, r.T, r.Seg.Seq, want.T, want.Seg.Seq)
+		}
+	}
+	if f.Fed() != f.Total() {
+		t.Fatalf("Fed=%d after full replay, want %d", f.Fed(), f.Total())
+	}
+	// The flow keeps working at these indices: a fresh record lands in
+	// the ring, replay hands over exactly that record.
+	r := rec(100, tcpsim.DirOut, tcpsim.Segment{Seq: uint32(1 + 100*100), Len: 100, Wnd: 65535})
+	f.Observe(&r)
+	n := 0
+	f.ReplayUnfed(func(rr *trace.Record) {
+		n++
+		if rr.Seg.Seq != r.Seg.Seq {
+			t.Fatalf("replayed Seq=%d, want %d", rr.Seg.Seq, r.Seg.Seq)
+		}
+	})
+	if n != 1 {
+		t.Fatalf("replayed %d records after one new observe, want 1", n)
 	}
 }

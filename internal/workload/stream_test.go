@@ -46,7 +46,7 @@ func TestStreamMatchesGenerate(t *testing.T) {
 			if a.T != b.T || a.Dir != b.Dir || a.Seg.Seq != b.Seg.Seq ||
 				a.Seg.Ack != b.Seg.Ack || a.Seg.Len != b.Seg.Len ||
 				a.Seg.Flags != b.Seg.Flags || a.Seg.Wnd != b.Seg.Wnd ||
-				len(a.Seg.SACK) != len(b.Seg.SACK) {
+				a.Seg.SACK != b.Seg.SACK {
 				t.Fatalf("flow %s record %d: stream %+v != generate %+v", f.ID, i, a, b)
 			}
 		}
