@@ -1,0 +1,354 @@
+// Command fleetbench measures the fleet tier: N in-process tapod
+// members (each a live.Monitor wrapped in a fleet.Member) feeding a
+// single tapoctl head over real loopback HTTP, and writes the results
+// as JSON (BENCH_fleet.json in CI).
+//
+// The headline number is the scale ratio. Each member first feeds its
+// event share ALONE — serially, with its push ticker running — so the
+// per-member rate isolates what the fleet layer costs (snapshotting,
+// JSON marshaling, HTTP pushes, config checks on the ingest path)
+// from how many cores the machine happens to have. The aggregate is
+// the sum of those per-member rates; the ratio divides it by N times
+// the single-member baseline measured the same way. On an ideal
+// machine the ratio is 1.0; CI gates it at 0.8. A fully concurrent
+// run (all members feeding at once) is also reported, but only
+// informationally — on a small CI box it measures core count, not the
+// fleet layer.
+//
+// The head-side number is merge latency: every accepted push folds
+// the fleet's retired and live snapshots into fresh totals under the
+// head lock, and the p50/p99 of that merge (in ms) comes from the
+// head's own reservoir. CI gates the p99 at 5ms.
+//
+// Gates (each exits non-zero when violated):
+//
+//	-min-scale F         aggregate serial-isolation throughput must be
+//	                     at least F × members × single-member baseline
+//	                     (CI uses 0.8)
+//	-max-merge-p99-ms F  head merge latency p99 ceiling (CI uses 5)
+//
+// Usage:
+//
+//	fleetbench [-quick] [-members 8] [-out BENCH_fleet.json]
+//	           [-min-scale 0.8] [-max-merge-p99-ms 5]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"tcpstall/internal/fleet"
+	"tcpstall/internal/live"
+	"tcpstall/internal/trace"
+	"tcpstall/internal/workload"
+)
+
+type result struct {
+	Quick      bool `json:"quick"`
+	GoMaxProcs int  `json:"gomaxprocs"`
+	Members    int  `json:"members"`
+
+	FlowsPerMember   int `json:"flows_per_member"`
+	RecordsPerMember int `json:"records_per_member"`
+
+	// SingleRecordsPerSec is the baseline: one member, feeding alone,
+	// pushes running. AggregateRecordsPerSec sums the serial-isolation
+	// per-member rates; ScaleRatio = aggregate / (members × single),
+	// the gated number. ConcurrentRecordsPerSec runs every member at
+	// once and is informational only (it measures core count).
+	SingleRecordsPerSec     float64 `json:"single_records_per_sec"`
+	AggregateRecordsPerSec  float64 `json:"aggregate_records_per_sec"`
+	ScaleRatio              float64 `json:"scale_ratio"`
+	ConcurrentRecordsPerSec float64 `json:"concurrent_records_per_sec"`
+
+	MergeP50MS float64 `json:"merge_p50_ms"`
+	MergeP99MS float64 `json:"merge_p99_ms"`
+	MergeCount int     `json:"merge_count"`
+
+	Pushes              uint64  `json:"pushes"`
+	FinalPushes         uint64  `json:"final_pushes"`
+	SnapshotBytes       uint64  `json:"snapshot_bytes"`
+	SnapshotBytesPerSec float64 `json:"snapshot_bytes_per_sec"`
+
+	FleetIngested uint64  `json:"fleet_records_ingested"`
+	ElapsedMS     float64 `json:"elapsed_ms"`
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller dataset and fewer repetitions (CI smoke)")
+	members := flag.Int("members", 8, "fleet size")
+	out := flag.String("out", "", "write the JSON result to this file (default stdout only)")
+	pushInterval := flag.Duration("push-interval", 50*time.Millisecond, "member push ticker during feeds")
+	minScale := flag.Float64("min-scale", 0, "exit non-zero when scale_ratio is below this (CI uses 0.8)")
+	maxMergeP99 := flag.Float64("max-merge-p99-ms", 0, "exit non-zero when head merge p99 exceeds this many ms (CI uses 5)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	flag.Parse()
+	logger := newLogger(*logFormat)
+	if *members < 1 {
+		logger.Error("need at least one member", "members", *members)
+		os.Exit(2)
+	}
+
+	// Shares must comfortably exceed the monitor ring (16K records) so
+	// ring backpressure engages and the feed loop measures processing,
+	// not queueing.
+	perSvc := 30
+	reps := 3
+	if *quick {
+		perSvc = 12
+		reps = 2
+	}
+
+	// Every member feeds the IDENTICAL share — same events, its own
+	// monitor — so each per-member rate measures the same work and the
+	// aggregate is exactly comparable to N × the single baseline.
+	// (Generation seeds shift flow pathology mixes enough to move the
+	// analyzer cost several-fold, which would poison the ratio.)
+	share := memberEvents(100, perSvc)
+	res := result{
+		Quick:            *quick,
+		GoMaxProcs:       runtime.GOMAXPROCS(0),
+		Members:          *members,
+		FlowsPerMember:   perSvc * len(workload.Services()),
+		RecordsPerMember: len(share),
+	}
+	logger.Info("workload ready", "members", *members,
+		"flows_per_member", res.FlowsPerMember, "records_per_member", len(share))
+
+	head := fleet.NewHead(fleet.HeadConfig{})
+	srv, headURL, err := serveHead(head)
+	if err != nil {
+		logger.Error("head listen failed", "err", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+	logger.Info("fleet head serving", "url", headURL)
+	benchStart := time.Now()
+
+	// Phase 1: single-member baseline, best of reps. Each rep is a full
+	// incarnation — register, feed, final push — so re-registration and
+	// epoch retirement are part of what gets measured.
+	rate, err := bestRate(headURL, "bench-single", *pushInterval, share, reps)
+	if err != nil {
+		logger.Error("baseline member failed", "err", err)
+		os.Exit(1)
+	}
+	res.SingleRecordsPerSec = rate
+	logger.Info("single-member baseline", "records_per_sec", rate)
+
+	// Phase 2: serial isolation — each member feeds its share alone,
+	// best of the same rep count as the baseline. The sum approximates
+	// fleet aggregate throughput with the machine out of the picture;
+	// the gate compares it to N × baseline.
+	for i := 0; i < *members; i++ {
+		rate, err := bestRate(headURL, fmt.Sprintf("bench-m%d", i), *pushInterval, share, reps)
+		if err != nil {
+			logger.Error("fleet member failed", "member", i, "err", err)
+			os.Exit(1)
+		}
+		res.AggregateRecordsPerSec += rate
+	}
+	res.ScaleRatio = ratio(res.AggregateRecordsPerSec, float64(*members)*res.SingleRecordsPerSec)
+	logger.Info("serial-isolation fleet",
+		"aggregate_records_per_sec", res.AggregateRecordsPerSec, "scale_ratio", res.ScaleRatio)
+
+	// Phase 3: all members at once — wall-clock aggregate, reported but
+	// not gated (it saturates cores long before the fleet layer).
+	res.ConcurrentRecordsPerSec = feedConcurrent(logger, headURL, *pushInterval, share, *members)
+	logger.Info("concurrent fleet", "records_per_sec", res.ConcurrentRecordsPerSec)
+
+	elapsed := time.Since(benchStart)
+	res.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
+	st := head.Stats()
+	res.MergeP50MS = st.MergeP50MS
+	res.MergeP99MS = st.MergeP99MS
+	res.MergeCount = st.MergeCount
+	res.Pushes = st.Pushes
+	res.FinalPushes = st.FinalPushes
+	res.SnapshotBytes = st.SnapshotBytes
+	res.SnapshotBytesPerSec = ratio(float64(st.SnapshotBytes), elapsed.Seconds())
+	if tot, err := head.Totals(); err == nil {
+		res.FleetIngested = tot.Ingested
+	}
+
+	b, _ := json.MarshalIndent(&res, "", "  ")
+	fmt.Println(string(b))
+	if *out != "" {
+		if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+			logger.Error("write failed", "path", *out, "err", err)
+			os.Exit(1)
+		}
+	}
+
+	fail := false
+	if *minScale > 0 && res.ScaleRatio >= 0 && res.ScaleRatio < *minScale {
+		logger.Error("FAIL fleet aggregate below the scale floor",
+			"aggregate_records_per_sec", res.AggregateRecordsPerSec,
+			"single_records_per_sec", res.SingleRecordsPerSec,
+			"scale_ratio", res.ScaleRatio, "floor", *minScale)
+		fail = true
+	}
+	if *maxMergeP99 > 0 && res.MergeCount > 0 && res.MergeP99MS > *maxMergeP99 {
+		logger.Error("FAIL head merge latency p99 above ceiling",
+			"merge_p99_ms", res.MergeP99MS, "ceiling", *maxMergeP99)
+		fail = true
+	}
+	if fail {
+		os.Exit(1)
+	}
+}
+
+// memberEvents generates one member's share: flowsPerSvc flows of
+// every workload service, flattened into the record-event stream a
+// capture source would feed.
+func memberEvents(seed int64, flowsPerSvc int) []trace.RecordEvent {
+	var evs []trace.RecordEvent
+	for _, svc := range workload.Services() {
+		evs = appendFlows(evs, svc, seed, flowsPerSvc)
+	}
+	return evs
+}
+
+func appendFlows(evs []trace.RecordEvent, svc workload.Service, seed int64, flows int) []trace.RecordEvent {
+	for _, fr := range workload.Generate(svc, seed, workload.GenOptions{Flows: flows}) {
+		f := fr.Flow
+		for i := range f.Records {
+			evs = append(evs, trace.RecordEvent{
+				FlowID:   f.ID,
+				Service:  f.Service,
+				MSS:      f.MSS,
+				InitRwnd: f.InitRwnd,
+				Rec:      f.Records[i],
+			})
+		}
+	}
+	return evs
+}
+
+// benchChunk matches the batch-intake granularity replay sources use.
+const benchChunk = 512
+
+// bestRate runs reps full member incarnations and keeps the fastest.
+func bestRate(headURL, id string, interval time.Duration, events []trace.RecordEvent, reps int) (float64, error) {
+	best := 0.0
+	for r := 0; r < reps; r++ {
+		rate, err := feedMember(headURL, id, interval, events)
+		if err != nil {
+			return 0, err
+		}
+		slog.Info("rep", "id", id, "rep", r, "rate", rate)
+		if rate > best {
+			best = rate
+		}
+	}
+	return best, nil
+}
+
+// feedMember runs one full member incarnation against the head:
+// register, feed every event through the member's batch path (config
+// apply + sampling + monitor intake) with the push ticker running,
+// then close (settle + final push). Returns the feed-loop throughput.
+func feedMember(headURL, id string, interval time.Duration, events []trace.RecordEvent) (float64, error) {
+	mon := live.New(live.Config{RingSize: 1 << 14})
+	mon.Start()
+	mb, err := fleet.NewMember(fleet.MemberConfig{
+		ID: id, Head: headURL, Monitor: mon, PushInterval: interval,
+	})
+	if err != nil {
+		return 0, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = mb.Run(ctx) // Register + ticker pushes until cancel
+	}()
+
+	start := time.Now()
+	for i := 0; i < len(events); i += benchChunk {
+		end := i + benchChunk
+		if end > len(events) {
+			end = len(events)
+		}
+		mb.IngestBatch(events[i:end])
+	}
+	feed := time.Since(start)
+	cancel()
+	wg.Wait()
+	closeCtx, closeCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer closeCancel()
+	if err := mb.Close(closeCtx); err != nil {
+		return 0, err
+	}
+	return ratio(float64(len(events)), feed.Seconds()), nil
+}
+
+// feedConcurrent runs every member's feed at the same time and
+// returns wall-clock aggregate throughput. A member failure logs and
+// zeros the result rather than aborting — this phase is informational.
+func feedConcurrent(logger *slog.Logger, headURL string, interval time.Duration, share []trace.RecordEvent, members int) float64 {
+	var wg sync.WaitGroup
+	errs := make([]error, members)
+	total := members * len(share)
+	start := time.Now()
+	for i := 0; i < members; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = feedMember(headURL, fmt.Sprintf("bench-c%d", i), interval, share)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			logger.Error("concurrent member failed", "member", i, "err", err)
+			return 0
+		}
+	}
+	return ratio(float64(total), elapsed.Seconds())
+}
+
+// serveHead exposes the head on a loopback listener so members push
+// over the same HTTP stack production uses.
+func serveHead(head *fleet.Head) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: fleet.NewHandler(head)}
+	go srv.Serve(ln)
+	return srv, "http://" + ln.Addr().String(), nil
+}
+
+// ratio returns num/den, or -1 when the denominator is not positive —
+// the sentinel the gates skip, rather than JSON-invalid NaN/Inf.
+func ratio(num, den float64) float64 {
+	if den <= 0 {
+		return -1
+	}
+	return num / den
+}
+
+// newLogger configures slog; "json" for log shippers, text otherwise.
+func newLogger(format string) *slog.Logger {
+	var h slog.Handler
+	if format == "json" {
+		h = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, nil)
+	}
+	l := slog.New(h)
+	slog.SetDefault(l)
+	return l
+}

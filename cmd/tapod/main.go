@@ -23,6 +23,12 @@
 // SIGINT/SIGTERM drain the rings, flush every live flow, and print a
 // final summary before exiting.
 //
+// Fleet mode (-head) attaches the daemon to a tapoctl head: it
+// registers for an epoch, pushes cumulative snapshots of its stall
+// aggregates every -push-interval, and applies config the head sends
+// back (sampling rate, record caps, triage/flight toggles) between
+// records — so one control plane steers many tapods.
+//
 // Self-observability: by default every flow carries a flight recorder
 // (disable with -flight=false), so /debug/flows/{id}/trace serves
 // per-stall evidence — the decision path and packet window behind each
@@ -32,7 +38,7 @@
 //
 // Usage:
 //
-//	tapod [-listen :9090] (-pcap file | -gen service) [options]
+//	tapod [-listen :9090] (-pcap file | -gen service) [-head http://ctl:7077] [options]
 package main
 
 import (
@@ -49,6 +55,7 @@ import (
 	"time"
 
 	"tcpstall/internal/core"
+	"tcpstall/internal/fleet"
 	"tcpstall/internal/flight"
 	"tcpstall/internal/live"
 	"tcpstall/internal/trace"
@@ -78,6 +85,9 @@ func main() {
 	flightOn := flag.Bool("flight", true, "attach a flight recorder to every flow (serves /debug/flows/{id}/trace)")
 	flightK := flag.Int("flight-k", 0, "flight packet-window radius around each stall gap (0: default)")
 	flightRing := flag.Int("flight-ring", 0, "flight event-ring size per flow (0: default)")
+	headURL := flag.String("head", "", "fleet mode: push snapshots to this tapoctl head URL")
+	memberID := flag.String("member-id", "", "with -head: fleet member identity (default: hostname + listen address)")
+	pushInterval := flag.Duration("push-interval", fleet.DefaultPushInterval, "with -head: snapshot push interval")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiles under /debug/pprof/")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	flag.Parse()
@@ -108,23 +118,34 @@ func main() {
 			}
 		},
 	}
-	if *flightOn {
-		lcfg.Flight = &flight.Config{WindowK: *flightK, RingSize: *flightRing}
-	}
 	// Triage defaults on for live generation (the healthy-heavy case it
 	// exists for) and off for pcap replay, where full always-on
 	// analysis of a finite capture is usually what's wanted.
+	triageOn := false
 	switch *triageMode {
-	case "on", "auto":
-		if *triageMode == "on" || *gen != "" {
-			lcfg.Triage = &triage.Config{RingCap: *triageRing}
-		}
+	case "on":
+		triageOn = true
+	case "auto":
+		triageOn = *gen != ""
 	case "off":
 	default:
 		fmt.Fprintf(os.Stderr, "tapod: -triage must be on, off or auto (got %q)\n", *triageMode)
 		os.Exit(2)
 	}
+	// In fleet mode both subsystems are always CONSTRUCTED — the head
+	// may enable them at runtime — and the flags set their initial
+	// on/off state instead.
+	if *flightOn || *headURL != "" {
+		lcfg.Flight = &flight.Config{WindowK: *flightK, RingSize: *flightRing}
+	}
+	if triageOn || *headURL != "" {
+		lcfg.Triage = &triage.Config{RingCap: *triageRing}
+	}
 	m := live.New(lcfg)
+	if *headURL != "" {
+		m.SetTriageEnabled(triageOn)
+		m.SetFlightEnabled(*flightOn)
+	}
 	m.Start()
 
 	mux := http.NewServeMux()
@@ -154,6 +175,44 @@ func main() {
 	if *shed {
 		ingest = m.Ingest
 	}
+
+	var member *fleet.Member
+	if *headURL != "" {
+		id := *memberID
+		if id == "" {
+			host, _ := os.Hostname()
+			if host == "" {
+				host = "tapod"
+			}
+			id = host + *listen
+		}
+		var err error
+		member, err = fleet.NewMember(fleet.MemberConfig{
+			ID:           id,
+			Head:         *headURL,
+			Monitor:      m,
+			PushInterval: *pushInterval,
+		})
+		if err != nil {
+			logger.Error("fleet member setup failed", "err", err)
+			os.Exit(2)
+		}
+		ingest = member.WrapIngestEvent(ingest)
+		logger.Info("fleet member mode", "head", *headURL, "id", id, "push_interval", *pushInterval)
+		go func() {
+			// Run exits on registration failure; keep retrying so a head
+			// that comes up late (or restarts) is joined automatically.
+			for ctx.Err() == nil {
+				if err := member.Run(ctx); err != nil && ctx.Err() == nil {
+					logger.Warn("fleet push loop error, retrying", "err", err)
+					select {
+					case <-time.After(*pushInterval):
+					case <-ctx.Done():
+					}
+				}
+			}
+		}()
+	}
 	go watchDrops(ctx, m, logger)
 
 	var err error
@@ -174,12 +233,21 @@ func main() {
 	if ctx.Err() != nil {
 		logger.Info("signal received, draining")
 	}
-	// Drain: flush every live flow, stop the HTTP plane, report.
-	m.Close()
+	// Drain: flush every live flow, send the final fleet push, stop
+	// the HTTP plane, report.
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
+	if member != nil {
+		// Close settles the monitor and pushes the final snapshot, so
+		// the head retires this epoch with exact totals.
+		if err := member.Close(shutdownCtx); err != nil {
+			logger.Warn("final fleet push failed", "err", err)
+		}
+	} else {
+		m.Close()
+	}
 	srv.Shutdown(shutdownCtx)
-	report(m)
+	report(m, member)
 }
 
 // newLogger configures the process-wide slog logger; "json" selects
@@ -270,7 +338,7 @@ func generate(ctx context.Context, name string, seed int64, opt workload.StreamO
 }
 
 // report prints the final snapshot as JSON on stdout.
-func report(m *live.Monitor) {
+func report(m *live.Monitor, member *fleet.Member) {
 	s := m.Snapshot()
 	stalls := map[string]map[string]uint64{}
 	for k, n := range s.StallCount {
@@ -317,6 +385,9 @@ func report(m *live.Monitor) {
 			"p50":   s.DurationsMS.Quantile(0.50),
 			"p99":   s.DurationsMS.Quantile(0.99),
 		}
+	}
+	if member != nil {
+		out["fleet"] = member.Stats()
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

@@ -1,0 +1,404 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"tcpstall/internal/flight"
+	"tcpstall/internal/live"
+	"tcpstall/internal/stats"
+	"tcpstall/internal/trace"
+	"tcpstall/internal/triage"
+	"tcpstall/internal/workload"
+)
+
+// newTestMonitor builds a monitor in full member trim (triage and
+// flight configured, so the head can toggle both).
+func newTestMonitor() *live.Monitor {
+	m := live.New(live.Config{
+		Shards:   2,
+		RingSize: 1 << 14,
+		Triage:   &triage.Config{},
+		Flight:   &flight.Config{},
+	})
+	m.Start()
+	return m
+}
+
+// memberEvents renders one member's deterministic replay traffic.
+func memberEvents(svc workload.Service, seed int64, flows int) []trace.RecordEvent {
+	var evs []trace.RecordEvent
+	for _, fr := range workload.Generate(svc, seed, workload.GenOptions{Flows: flows}) {
+		f := fr.Flow
+		for i := range f.Records {
+			evs = append(evs, trace.RecordEvent{
+				FlowID:   f.ID,
+				Service:  f.Service,
+				MSS:      f.MSS,
+				InitRwnd: f.InitRwnd,
+				Rec:      f.Records[i],
+			})
+		}
+	}
+	return evs
+}
+
+// feedChunks pushes events through the member ingest path in
+// fixed-size batches, with a protocol push every few batches so the
+// run exercises mid-stream snapshots.
+func feedChunks(t *testing.T, ctx context.Context, mb *Member, evs []trace.RecordEvent) {
+	t.Helper()
+	const chunk = 512
+	for i := 0; i < len(evs); i += chunk {
+		end := i + chunk
+		if end > len(evs) {
+			end = len(evs)
+		}
+		mb.IngestBatch(evs[i:end])
+		if (i/chunk)%4 == 3 {
+			if err := mb.Push(ctx); err != nil {
+				t.Fatalf("mid-stream push: %v", err)
+			}
+		}
+	}
+}
+
+func marshal(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return b
+}
+
+// TestDifferentialReplayByteIdentical is the acceptance differential:
+// three members replay deterministic workloads against one head, one
+// member restarts mid-run, a delayed duplicate and a stale-epoch push
+// are injected — and the head's fleet totals must still be
+// byte-identical to Aggregate over the members' final reports.
+func TestDifferentialReplayByteIdentical(t *testing.T) {
+	ctx := context.Background()
+	head := NewHead(HeadConfig{})
+	srv := httptest.NewServer(NewHandler(head))
+	defer srv.Close()
+
+	svcs := workload.Services()
+	var finals []Snapshot
+
+	// Member m0: restarts mid-run. First incarnation takes the front
+	// half of the replay.
+	ev0 := memberEvents(svcs[0], 101, 4)
+	mon0a := newTestMonitor()
+	m0a, err := NewMember(MemberConfig{ID: "m0", Head: srv.URL, Monitor: mon0a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m0a.Register(ctx); err != nil {
+		t.Fatal(err)
+	}
+	epoch0a := m0a.Stats().Epoch
+	feedChunks(t, ctx, m0a, ev0[:len(ev0)/2])
+	if err := m0a.Push(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Delayed duplicate: replay an already-used sequence number. The
+	// head must reject it and totals must not move.
+	before, err := head.Totals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := m0a.Snapshot()
+	dup.Seq = 1
+	if resp := head.Push(&dup); resp.OK || resp.Error != ErrDuplicateSeq {
+		t.Fatalf("duplicate push: got %+v, want duplicate_seq reject", resp)
+	}
+	after, err := head.Totals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(marshal(t, before), marshal(t, after)) {
+		t.Fatal("rejected duplicate push changed fleet totals")
+	}
+
+	// Restart: close (final push), then a fresh incarnation — new
+	// monitor, same member ID — takes the back half.
+	if err := m0a.Close(ctx); err != nil {
+		t.Fatalf("close m0a: %v", err)
+	}
+	finals = append(finals, m0a.Snapshot())
+
+	mon0b := newTestMonitor()
+	m0b, err := NewMember(MemberConfig{ID: "m0", Head: srv.URL, Monitor: mon0b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m0b.Register(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if e := m0b.Stats().Epoch; e <= epoch0a {
+		t.Fatalf("restart epoch = %d, want > %d", e, epoch0a)
+	}
+	// Stale-epoch push from the dead incarnation, out of order.
+	stale := m0b.Snapshot()
+	stale.Epoch = epoch0a
+	stale.Seq = 99
+	if resp := head.Push(&stale); resp.OK || resp.Error != ErrStaleEpoch {
+		t.Fatalf("stale push: got %+v, want stale_epoch reject", resp)
+	}
+	feedChunks(t, ctx, m0b, ev0[len(ev0)/2:])
+
+	// Members m1, m2: plain straight-through replays.
+	rest := []*Member{m0b}
+	for i := 1; i <= 2; i++ {
+		mon := newTestMonitor()
+		mb, err := NewMember(MemberConfig{ID: fmt.Sprintf("m%d", i), Head: srv.URL, Monitor: mon})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mb.Register(ctx); err != nil {
+			t.Fatal(err)
+		}
+		feedChunks(t, ctx, mb, memberEvents(svcs[i%len(svcs)], int64(200+i), 4))
+		rest = append(rest, mb)
+	}
+	for _, mb := range rest {
+		if err := mb.Close(ctx); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		finals = append(finals, mb.Snapshot())
+	}
+
+	want, err := Aggregate(finals...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := head.Totals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJS, gotJS := marshal(t, want), marshal(t, got)
+	if !bytes.Equal(wantJS, gotJS) {
+		t.Errorf("fleet totals diverged from the sum of final member reports\n head: %s\n sum:  %s", gotJS, wantJS)
+	}
+	if got.Epochs != 4 {
+		t.Errorf("epochs = %d, want 4 (3 members + 1 restart)", got.Epochs)
+	}
+	if got.Ingested == 0 || got.FlowsSeen == 0 {
+		t.Errorf("empty replay: %+v", got)
+	}
+
+	st := head.Stats()
+	if st.Restarts != 1 {
+		t.Errorf("restarts = %d, want 1", st.Restarts)
+	}
+	if st.FinalPushes != 4 {
+		t.Errorf("final pushes = %d, want 4", st.FinalPushes)
+	}
+	if st.Rejects[ErrDuplicateSeq] != 1 || st.Rejects[ErrStaleEpoch] != 1 {
+		t.Errorf("rejects = %v, want one duplicate_seq and one stale_epoch", st.Rejects)
+	}
+	if st.MergeCount == 0 || st.MergeP99MS <= 0 {
+		t.Errorf("merge latency not sampled: %+v", st)
+	}
+}
+
+// miniSnap builds the smallest valid wire snapshot.
+func miniSnap(id string, epoch, seq, ingested uint64) *Snapshot {
+	return &Snapshot{
+		Version:     WireVersion,
+		MemberID:    id,
+		Epoch:       epoch,
+		Seq:         seq,
+		Ingested:    ingested,
+		DurationsMS: stats.NewHistogram(live.DurationBoundsMS).State(),
+	}
+}
+
+// postPush replays a raw push body over HTTP — the transport-level
+// out-of-order duplicate.
+func postPush(t *testing.T, url string, body []byte) PushResponse {
+	t.Helper()
+	resp, err := http.Post(url+"/fleet/push", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var pr PushResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	return pr
+}
+
+// TestRestartEpochSemantics is the regression test for member restart:
+// re-registration yields a strictly fresh epoch, the head discards
+// stale-epoch snapshots (including byte-exact replays of old pushes),
+// and totals count every epoch exactly once.
+func TestRestartEpochSemantics(t *testing.T) {
+	head := NewHead(HeadConfig{})
+	srv := httptest.NewServer(NewHandler(head))
+	defer srv.Close()
+
+	register := func() uint64 {
+		body := marshal(t, RegisterRequest{Version: WireVersion, MemberID: "m"})
+		resp, err := http.Post(srv.URL+"/fleet/register", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var rr RegisterResponse
+		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+			t.Fatal(err)
+		}
+		return rr.Epoch
+	}
+
+	e1 := register()
+	push1 := marshal(t, miniSnap("m", e1, 1, 100))
+	if pr := postPush(t, srv.URL, push1); !pr.OK {
+		t.Fatalf("push 1: %+v", pr)
+	}
+	if pr := postPush(t, srv.URL, marshal(t, miniSnap("m", e1, 2, 150))); !pr.OK {
+		t.Fatalf("push 2: %+v", pr)
+	}
+
+	e2 := register()
+	if e2 <= e1 {
+		t.Fatalf("re-register epoch = %d, want > %d", e2, e1)
+	}
+
+	// Out-of-order duplicate from the dead epoch, replayed byte for
+	// byte off the wire: must be discarded as stale, not re-counted.
+	if pr := postPush(t, srv.URL, push1); pr.OK || pr.Error != ErrStaleEpoch {
+		t.Fatalf("stale replay: got %+v, want stale_epoch reject", pr)
+	}
+
+	if pr := postPush(t, srv.URL, marshal(t, miniSnap("m", e2, 1, 30))); !pr.OK {
+		t.Fatalf("push on fresh epoch: %+v", pr)
+	}
+	// Duplicate within the live epoch.
+	if pr := postPush(t, srv.URL, marshal(t, miniSnap("m", e2, 1, 30))); pr.OK || pr.Error != ErrDuplicateSeq {
+		t.Fatalf("duplicate seq: got %+v, want duplicate_seq reject", pr)
+	}
+
+	tot, err := head.Totals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Epoch 1 contributes its LAST snapshot (150), epoch 2 its own
+	// (30); the stale replay of 100 must not resurrect.
+	if tot.Ingested != 180 {
+		t.Errorf("ingested = %d, want 180 (150 retired + 30 live)", tot.Ingested)
+	}
+	if tot.Epochs != 2 {
+		t.Errorf("epochs = %d, want 2", tot.Epochs)
+	}
+}
+
+// TestExpiryRetiresSilentMembers drives the stale-member sweep with an
+// injected clock.
+func TestExpiryRetiresSilentMembers(t *testing.T) {
+	now := time.Unix(1_000_000, 0)
+	head := NewHead(HeadConfig{
+		Expiry: 10 * time.Second,
+		Clock:  func() time.Time { return now },
+	})
+
+	reg, err := head.Register(RegisterRequest{Version: WireVersion, MemberID: "m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := head.Push(miniSnap("m", reg.Epoch, 1, 42)); !resp.OK {
+		t.Fatalf("push: %+v", resp)
+	}
+
+	now = now.Add(11 * time.Second)
+	st := head.Stats()
+	if st.Expiries != 1 || st.LiveMembers != 0 {
+		t.Fatalf("after silence: expiries=%d live=%d, want 1/0", st.Expiries, st.LiveMembers)
+	}
+	// The expired epoch's state is retained, frozen.
+	tot, err := head.Totals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tot.Ingested != 42 || tot.Epochs != 1 {
+		t.Errorf("retired totals = %+v, want ingested 42 over 1 epoch", tot)
+	}
+	// A push from the expired epoch is stale; re-registering heals.
+	if resp := head.Push(miniSnap("m", reg.Epoch, 2, 50)); resp.OK || resp.Error != ErrStaleEpoch {
+		t.Fatalf("push after expiry: %+v, want stale_epoch", resp)
+	}
+	reg2, err := head.Register(RegisterRequest{Version: WireVersion, MemberID: "m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := head.Push(miniSnap("m", reg2.Epoch, 1, 8)); !resp.OK {
+		t.Fatalf("push after re-register: %+v", resp)
+	}
+	tot, err = head.Totals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tot.Ingested != 50 || tot.Epochs != 2 {
+		t.Errorf("healed totals = %+v, want ingested 50 over 2 epochs", tot)
+	}
+}
+
+// TestPushRejectsBadSnapshots covers the protocol's input validation.
+func TestPushRejectsBadSnapshots(t *testing.T) {
+	head := NewHead(HeadConfig{})
+	if resp := head.Push(miniSnap("ghost", 1, 1, 1)); resp.OK || resp.Error != ErrUnknownMember {
+		t.Errorf("unregistered push: %+v, want unknown_member", resp)
+	}
+	reg, err := head.Register(RegisterRequest{Version: WireVersion, MemberID: "m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrongVer := miniSnap("m", reg.Epoch, 1, 1)
+	wrongVer.Version = WireVersion + 1
+	if resp := head.Push(wrongVer); resp.OK || resp.Error != ErrBadSnapshot {
+		t.Errorf("wrong version: %+v, want bad_snapshot", resp)
+	}
+	// A structurally broken histogram payload fails the merge and is
+	// dropped rather than poisoning totals.
+	broken := miniSnap("m", reg.Epoch, 1, 1)
+	broken.DurationsMS = stats.HistogramState{}
+	if resp := head.Push(broken); resp.OK || resp.Error != ErrBadSnapshot {
+		t.Errorf("broken histogram: %+v, want bad_snapshot", resp)
+	}
+	if _, err := head.Totals(); err != nil {
+		t.Errorf("totals poisoned by rejected snapshot: %v", err)
+	}
+	if _, err := head.Register(RegisterRequest{Version: WireVersion + 1, MemberID: "x"}); err == nil {
+		t.Error("version-mismatched registration accepted")
+	}
+	if _, err := head.Register(RegisterRequest{Version: WireVersion}); err == nil {
+		t.Error("empty member_id registration accepted")
+	}
+}
+
+// TestAggregateEmptyMatchesIdleHead pins that a head that has heard
+// nothing and an Aggregate over nothing render identical totals.
+func TestAggregateEmptyMatchesIdleHead(t *testing.T) {
+	head := NewHead(HeadConfig{})
+	got, err := head.Totals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Aggregate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(marshal(t, got), marshal(t, want)) {
+		t.Errorf("idle head totals %s != empty aggregate %s", marshal(t, got), marshal(t, want))
+	}
+}

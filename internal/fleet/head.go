@@ -1,0 +1,566 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tcpstall/internal/live"
+	"tcpstall/internal/stats"
+)
+
+// DefaultExpiry is how long a member may go silent before the head
+// retires its epoch. Three missed pushes at the default interval is
+// loss; twelve is a dead host.
+const DefaultExpiry = 60 * time.Second
+
+// HeadConfig configures a Head.
+type HeadConfig struct {
+	// Expiry overrides DefaultExpiry when positive.
+	Expiry time.Duration
+	// Clock overrides time.Now — injected by tests so expiry is
+	// deterministic.
+	Clock func() time.Time
+}
+
+// Head is the fleet control plane: it assigns epochs, ingests member
+// snapshots, merges them into fleet-wide totals, and hands config
+// down. One Head serves many members; all methods are safe for
+// concurrent use.
+type Head struct {
+	clock  func() time.Time
+	expiry time.Duration
+
+	// snapBytes counts wire bytes of accepted snapshots (fed by the
+	// HTTP handler; atomic so the hot path skips the head lock).
+	snapBytes atomic.Uint64
+
+	mu sync.Mutex
+	// members holds every member ever registered. guarded by mu
+	members map[string]*memberState
+	// lastEpoch is the epoch counter; registration hands out
+	// lastEpoch+1. guarded by mu
+	lastEpoch uint64
+	// retired holds the final snapshot of every dead epoch, in
+	// retirement order. guarded by mu
+	retired []Snapshot
+	// config is the current downlink, nil until SetConfig. guarded by mu
+	config *ConfigUpdate
+	// mergeLat samples the totals-rebuild latency per accepted push,
+	// in milliseconds. guarded by mu
+	mergeLat *stats.Sample
+	// counters is the head's own accounting. guarded by mu
+	counters headCounters
+}
+
+// headCounters is the head's protocol accounting. Owned by the Head;
+// guarded by its mu.
+type headCounters struct {
+	registrations uint64
+	restarts      uint64
+	expiries      uint64
+	pushes        uint64 // accepted
+	finals        uint64
+	rejects       map[string]uint64 // by PushResponse error code
+}
+
+// memberState is one member's registration record. Single-owner: all
+// fields are accessed only by Head methods holding the Head mutex.
+type memberState struct {
+	id            string
+	epoch         uint64
+	lastSeq       uint64
+	lastSeen      time.Time
+	configVersion uint64
+	last          *Snapshot // latest accepted snapshot; nil once retired
+	done          bool      // epoch over: final push received or expired
+	final         bool
+	expired       bool
+	restarts      uint64
+}
+
+// NewHead builds a Head.
+func NewHead(cfg HeadConfig) *Head {
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if cfg.Expiry <= 0 {
+		cfg.Expiry = DefaultExpiry
+	}
+	return &Head{
+		clock:    cfg.Clock,
+		expiry:   cfg.Expiry,
+		members:  map[string]*memberState{},
+		mergeLat: stats.NewSample(0),
+		counters: headCounters{rejects: map[string]uint64{}},
+	}
+}
+
+// Register assigns the member a fresh epoch. Re-registering an
+// existing member retires its previous epoch first — the protocol's
+// restart semantics — so the old incarnation's last snapshot is
+// frozen into the totals and any of its still-in-flight pushes will
+// be rejected as stale.
+func (h *Head) Register(req RegisterRequest) (RegisterResponse, error) {
+	if req.MemberID == "" {
+		return RegisterResponse{}, fmt.Errorf("fleet: register with empty member_id")
+	}
+	if req.Version != WireVersion {
+		return RegisterResponse{}, fmt.Errorf("fleet: member %s speaks wire v%d, head speaks v%d", req.MemberID, req.Version, WireVersion)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	now := h.clock()
+	h.sweepLocked(now)
+	ms := h.members[req.MemberID]
+	if ms == nil {
+		ms = &memberState{id: req.MemberID}
+		h.members[req.MemberID] = ms
+	} else {
+		h.retireLocked(ms)
+		ms.restarts++
+		h.counters.restarts++
+	}
+	h.lastEpoch++
+	ms.epoch = h.lastEpoch
+	ms.lastSeq = 0
+	ms.lastSeen = now
+	ms.done = false
+	ms.final = false
+	ms.expired = false
+	ms.configVersion = 0
+	h.counters.registrations++
+	resp := RegisterResponse{Epoch: ms.epoch}
+	if h.config != nil {
+		resp.Config = h.configCopyLocked()
+	}
+	return resp, nil
+}
+
+// Push ingests one member snapshot. Accepted snapshots REPLACE the
+// member's previous one (cumulative counters), so duplicates and
+// losses never skew totals; rejected pushes report why. The response
+// doubles as the config downlink when the head holds a newer config
+// than the member reports applied.
+func (h *Head) Push(snap *Snapshot) PushResponse {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	now := h.clock()
+	h.sweepLocked(now)
+	if snap == nil || snap.Version != WireVersion || snap.MemberID == "" {
+		return h.rejectLocked(ErrBadSnapshot)
+	}
+	ms := h.members[snap.MemberID]
+	if ms == nil {
+		return h.rejectLocked(ErrUnknownMember)
+	}
+	if snap.Epoch != ms.epoch || ms.done {
+		return h.rejectLocked(ErrStaleEpoch)
+	}
+	if snap.Seq <= ms.lastSeq {
+		return h.rejectLocked(ErrDuplicateSeq)
+	}
+	cp := *snap
+	ms.last = &cp
+	ms.lastSeq = snap.Seq
+	ms.lastSeen = now
+	ms.configVersion = snap.ConfigVersion
+	h.counters.pushes++
+	if snap.Final {
+		ms.done = true
+		ms.final = true
+		h.retireLocked(ms)
+		h.counters.finals++
+	}
+	// Rebuild fleet totals under the clock: the per-push merge cost is
+	// exactly what fleetbench gates, so measure it where it happens.
+	start := time.Now()
+	_, err := h.totalsLocked()
+	h.mergeLat.Add(float64(time.Since(start)) / float64(time.Millisecond))
+	if err != nil {
+		// The snapshot merged at the protocol layer but its payload is
+		// incompatible (histogram layout drift). Drop it from state so
+		// totals stay computable.
+		ms.last = nil
+		return h.rejectLocked(ErrBadSnapshot)
+	}
+	resp := PushResponse{OK: true}
+	if h.config != nil && h.config.Version > snap.ConfigVersion {
+		resp.Config = h.configCopyLocked()
+	}
+	return resp
+}
+
+// rejectLocked counts and shapes one push rejection.
+func (h *Head) rejectLocked(code string) PushResponse {
+	h.counters.rejects[code]++
+	return PushResponse{OK: false, Error: code}
+}
+
+// retireLocked freezes a member's last snapshot into the retired
+// totals. Idempotent: the snapshot moves out of the live set as it is
+// retired, so a final push followed by expiry (or re-registration)
+// cannot double-count.
+func (h *Head) retireLocked(ms *memberState) {
+	if ms.last != nil {
+		h.retired = append(h.retired, *ms.last)
+		ms.last = nil
+	}
+}
+
+// sweepLocked retires every live member that has gone silent past the
+// expiry window.
+func (h *Head) sweepLocked(now time.Time) {
+	for _, ms := range h.members {
+		if !ms.done && now.Sub(ms.lastSeen) > h.expiry {
+			ms.done = true
+			ms.expired = true
+			h.retireLocked(ms)
+			h.counters.expiries++
+		}
+	}
+}
+
+// totalsLocked merges retired epochs plus every live member's latest
+// snapshot, in epoch order (see Aggregate).
+func (h *Head) totalsLocked() (Totals, error) {
+	snaps := make([]Snapshot, 0, len(h.retired)+len(h.members))
+	snaps = append(snaps, h.retired...)
+	for _, ms := range h.members {
+		if ms.last != nil {
+			snaps = append(snaps, *ms.last)
+		}
+	}
+	return Aggregate(snaps...)
+}
+
+func (h *Head) configCopyLocked() *ConfigUpdate {
+	cp := ConfigUpdate{Version: h.config.Version, Settings: map[string]any{}}
+	for k, v := range h.config.Settings {
+		cp.Settings[k] = v
+	}
+	return &cp
+}
+
+// Totals returns the fleet-wide cumulative totals.
+func (h *Head) Totals() (Totals, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sweepLocked(h.clock())
+	return h.totalsLocked()
+}
+
+// WindowTotals is the fleet's rolling-window view: live members only,
+// since a retired epoch has nothing recent to say.
+type WindowTotals struct {
+	SpanS   float64        `json:"window_span_s"`
+	Members int            `json:"members"`
+	Stalls  []StallCounter `json:"stalls,omitempty"`
+}
+
+// Window sums the rolling windows of the live members.
+func (h *Head) Window() WindowTotals {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sweepLocked(h.clock())
+	var snaps []Snapshot
+	for _, ms := range h.members {
+		if ms.last != nil {
+			snaps = append(snaps, *ms.last)
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].Epoch < snaps[j].Epoch })
+	out := WindowTotals{Members: len(snaps)}
+	acc := map[StallKey]*StallCounter{}
+	for i := range snaps {
+		s := &snaps[i]
+		if s.WindowSpanS > out.SpanS {
+			out.SpanS = s.WindowSpanS
+		}
+		for _, sc := range s.WindowStalls {
+			k := StallKey{Service: sc.Service, Cause: sc.Cause}
+			cell := acc[k]
+			if cell == nil {
+				cell = &StallCounter{Service: sc.Service, Cause: sc.Cause}
+				acc[k] = cell
+			}
+			cell.Count += sc.Count
+			cell.Seconds += sc.Seconds
+		}
+	}
+	for _, cell := range acc {
+		out.Stalls = append(out.Stalls, *cell)
+	}
+	sortStalls(out.Stalls)
+	return out
+}
+
+// StallKey is the composite (service, cause) map key.
+type StallKey struct {
+	Service string
+	Cause   string
+}
+
+// MemberInfo is one row of the /fleet/members view.
+type MemberInfo struct {
+	ID            string  `json:"id"`
+	Epoch         uint64  `json:"epoch"`
+	LastSeq       uint64  `json:"last_seq"`
+	AgeS          float64 `json:"age_s"`
+	Live          bool    `json:"live"`
+	Final         bool    `json:"final,omitempty"`
+	Expired       bool    `json:"expired,omitempty"`
+	Restarts      uint64  `json:"restarts,omitempty"`
+	ConfigVersion uint64  `json:"config_version"`
+	ActiveFlows   int     `json:"active_flows"`
+	Ingested      uint64  `json:"records_ingested"`
+}
+
+// Members lists every known member, live and dead, sorted by ID.
+func (h *Head) Members() []MemberInfo {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	now := h.clock()
+	h.sweepLocked(now)
+	out := make([]MemberInfo, 0, len(h.members))
+	for _, ms := range h.members {
+		mi := MemberInfo{
+			ID:            ms.id,
+			Epoch:         ms.epoch,
+			LastSeq:       ms.lastSeq,
+			AgeS:          now.Sub(ms.lastSeen).Seconds(),
+			Live:          !ms.done,
+			Final:         ms.final,
+			Expired:       ms.expired,
+			Restarts:      ms.restarts,
+			ConfigVersion: ms.configVersion,
+		}
+		if ms.last != nil {
+			mi.ActiveFlows = ms.last.ActiveFlows
+			mi.Ingested = ms.last.Ingested
+		}
+		out = append(out, mi)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SetConfig merges the given settings into the downlink config and
+// bumps its version; members pick it up on their next push. Returns
+// the new version.
+func (h *Head) SetConfig(settings map[string]any) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.config == nil {
+		h.config = &ConfigUpdate{Settings: map[string]any{}}
+	}
+	for k, v := range settings {
+		h.config.Settings[k] = v
+	}
+	h.config.Version++
+	return h.config.Version
+}
+
+// ConfigSnapshot returns a copy of the current downlink config, or
+// nil if none has been set.
+func (h *Head) ConfigSnapshot() *ConfigUpdate {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.config == nil {
+		return nil
+	}
+	return h.configCopyLocked()
+}
+
+// AddSnapshotBytes feeds the wire-bytes counter (called by the HTTP
+// layer with each accepted snapshot's body size).
+func (h *Head) AddSnapshotBytes(n int) { h.snapBytes.Add(uint64(n)) }
+
+// HeadStats is the head's own accounting, for /metrics and fleetbench.
+type HeadStats struct {
+	Members       int               `json:"members"`
+	LiveMembers   int               `json:"live_members"`
+	Registrations uint64            `json:"registrations"`
+	Restarts      uint64            `json:"restarts"`
+	Expiries      uint64            `json:"expiries"`
+	Pushes        uint64            `json:"pushes"`
+	FinalPushes   uint64            `json:"final_pushes"`
+	Rejects       map[string]uint64 `json:"rejects,omitempty"`
+	SnapshotBytes uint64            `json:"snapshot_bytes"`
+	MergeCount    int               `json:"merge_count"`
+	MergeP50MS    float64           `json:"merge_p50_ms"`
+	MergeP99MS    float64           `json:"merge_p99_ms"`
+}
+
+// Stats snapshots the head's counters and merge-latency quantiles.
+func (h *Head) Stats() HeadStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sweepLocked(h.clock())
+	st := HeadStats{
+		Members:       len(h.members),
+		Registrations: h.counters.registrations,
+		Restarts:      h.counters.restarts,
+		Expiries:      h.counters.expiries,
+		Pushes:        h.counters.pushes,
+		FinalPushes:   h.counters.finals,
+		SnapshotBytes: h.snapBytes.Load(),
+		MergeCount:    h.mergeLat.Len(),
+	}
+	for _, ms := range h.members {
+		if !ms.done {
+			st.LiveMembers++
+		}
+	}
+	if len(h.counters.rejects) > 0 {
+		st.Rejects = map[string]uint64{}
+		for k, n := range h.counters.rejects {
+			st.Rejects[k] = n
+		}
+	}
+	if h.mergeLat.Len() > 0 {
+		st.MergeP50MS = h.mergeLat.Quantile(0.5)
+		st.MergeP99MS = h.mergeLat.Quantile(0.99)
+	}
+	return st
+}
+
+// Totals is the fleet-wide cumulative merge: counters only — no
+// gauges, no identity, no rolling window — so that the sum of every
+// epoch's final snapshot is exactly the head's total, byte for byte.
+type Totals struct {
+	Epochs                    int               `json:"epochs"`
+	Ingested                  uint64            `json:"records_ingested"`
+	RingDrops                 uint64            `json:"ring_drops"`
+	RecordsFed                uint64            `json:"records_fed"`
+	RecordCapDrops            uint64            `json:"record_cap_drops"`
+	SampledOut                uint64            `json:"records_sampled_out"`
+	FlowsSeen                 uint64            `json:"flows_seen"`
+	FlowsEvicted              map[string]uint64 `json:"flows_evicted,omitempty"`
+	FlowsTruncated            uint64            `json:"flows_truncated"`
+	UnknownConfigKeys         uint64            `json:"unknown_config_keys"`
+	TriageFastRecords         uint64            `json:"triage_fast_records"`
+	TriagePromotions          map[string]uint64 `json:"triage_promotions,omitempty"`
+	TriageRepromotions        uint64            `json:"triage_repromotions"`
+	TriageDemotions           uint64            `json:"triage_demotions"`
+	TriageTruncatedPromotions uint64            `json:"triage_truncated_promotions"`
+
+	Stalls      []StallCounter       `json:"stalls,omitempty"`
+	Retrans     []RetransCounter     `json:"retrans,omitempty"`
+	DurationsMS stats.HistogramState `json:"stall_duration_ms"`
+
+	IngestBatchSizes stats.SummaryState `json:"ingest_batch_sizes"`
+}
+
+// Aggregate merges snapshots into fleet totals. It is the ONE merge
+// implementation: the head's totals go through it, and the
+// differential test feeds it the members' final reports directly —
+// byte-identical output is the contract. Inputs are folded in epoch
+// order (epochs are globally unique), so float accumulation order —
+// and therefore the exact bits — cannot depend on map iteration.
+func Aggregate(snaps ...Snapshot) (Totals, error) {
+	ordered := make([]Snapshot, len(snaps))
+	copy(ordered, snaps)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Epoch < ordered[j].Epoch })
+
+	t := Totals{}
+	var hist *stats.Histogram
+	var batches stats.Summary
+	stalls := map[StallKey]*StallCounter{}
+	retrans := map[string]*RetransCounter{}
+	for i := range ordered {
+		s := &ordered[i]
+		if s.Version != WireVersion {
+			return Totals{}, fmt.Errorf("fleet: aggregate: snapshot from %q speaks wire v%d, want v%d", s.MemberID, s.Version, WireVersion)
+		}
+		t.Epochs++
+		t.Ingested += s.Ingested
+		t.RingDrops += s.RingDrops
+		t.RecordsFed += s.RecordsFed
+		t.RecordCapDrops += s.RecordCapDrops
+		t.SampledOut += s.SampledOut
+		t.FlowsSeen += s.FlowsSeen
+		t.FlowsTruncated += s.FlowsTruncated
+		t.UnknownConfigKeys += s.UnknownConfigKeys
+		t.TriageFastRecords += s.TriageFastRecords
+		t.TriageRepromotions += s.TriageRepromotions
+		t.TriageDemotions += s.TriageDemotions
+		t.TriageTruncatedPromotions += s.TriageTruncatedPromotions
+		for k, n := range s.FlowsEvicted {
+			if t.FlowsEvicted == nil {
+				t.FlowsEvicted = map[string]uint64{}
+			}
+			t.FlowsEvicted[k] += n
+		}
+		for k, n := range s.TriagePromotions {
+			if t.TriagePromotions == nil {
+				t.TriagePromotions = map[string]uint64{}
+			}
+			t.TriagePromotions[k] += n
+		}
+		for _, sc := range s.Stalls {
+			k := StallKey{Service: sc.Service, Cause: sc.Cause}
+			cell := stalls[k]
+			if cell == nil {
+				cell = &StallCounter{Service: sc.Service, Cause: sc.Cause}
+				stalls[k] = cell
+			}
+			cell.Count += sc.Count
+			cell.Seconds += sc.Seconds
+		}
+		for _, rc := range s.Retrans {
+			cell := retrans[rc.Subcause]
+			if cell == nil {
+				cell = &RetransCounter{Subcause: rc.Subcause}
+				retrans[rc.Subcause] = cell
+			}
+			cell.Count += rc.Count
+			cell.Seconds += rc.Seconds
+		}
+		hs, err := stats.HistogramFromState(s.DurationsMS)
+		if err != nil {
+			return Totals{}, fmt.Errorf("fleet: aggregate: snapshot from %q: %w", s.MemberID, err)
+		}
+		if hist == nil {
+			hist = hs
+		} else {
+			if !boundsEqual(hist.Bounds(), hs.Bounds()) {
+				return Totals{}, fmt.Errorf("fleet: aggregate: snapshot from %q has a different histogram layout", s.MemberID)
+			}
+			hist.Merge(hs)
+		}
+		bs, err := stats.SummaryFromState(s.IngestBatchSizes)
+		if err != nil {
+			return Totals{}, fmt.Errorf("fleet: aggregate: snapshot from %q: %w", s.MemberID, err)
+		}
+		batches.Merge(bs)
+	}
+	for _, cell := range stalls {
+		t.Stalls = append(t.Stalls, *cell)
+	}
+	sortStalls(t.Stalls)
+	for _, cell := range retrans {
+		t.Retrans = append(t.Retrans, *cell)
+	}
+	sort.Slice(t.Retrans, func(i, j int) bool { return t.Retrans[i].Subcause < t.Retrans[j].Subcause })
+	if hist == nil {
+		hist = stats.NewHistogram(live.DurationBoundsMS)
+	}
+	t.DurationsMS = hist.State()
+	t.IngestBatchSizes = batches.State()
+	return t, nil
+}
+
+func boundsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,544 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tcpstall/internal/live"
+	"tcpstall/internal/stats"
+	"tcpstall/internal/trace"
+)
+
+// DefaultPushInterval is how often a member snapshots and pushes.
+const DefaultPushInterval = 5 * time.Second
+
+// MemberConfig configures a Member.
+type MemberConfig struct {
+	// ID names this member to the head; required, must be stable
+	// across restarts of the same host so the head can track
+	// incarnations.
+	ID string
+	// Head is the head's base URL, e.g. "http://head:7077".
+	Head string
+	// Monitor is the local monitor being exported. Required.
+	Monitor *live.Monitor
+	// PushInterval overrides DefaultPushInterval when positive.
+	PushInterval time.Duration
+	// Client overrides the default HTTP client (10s timeout).
+	Client *http.Client
+}
+
+// Member wires a local live.Monitor to a fleet head: it registers for
+// an epoch, pushes cumulative snapshots on a ticker, applies config
+// staged from push responses between ingest batches, and optionally
+// samples flows down before they reach the monitor.
+//
+// Protocol methods (Register, Push, Run, Close) serialize on an
+// internal mutex; the ingest path (IngestBatch, WrapIngest) never
+// takes it.
+type Member struct {
+	id       string
+	head     string
+	mon      *live.Monitor
+	interval time.Duration
+	client   *http.Client
+
+	// pending is the config staged from the last head response,
+	// consumed (and applied) at the next ingest batch boundary —
+	// config never changes analyzer behavior mid-batch.
+	pending atomic.Pointer[ConfigUpdate]
+	// cfgVersion is the version of the last APPLIED config.
+	cfgVersion atomic.Uint64
+	// sampleOneIn keeps 1 flow in N when > 1.
+	sampleOneIn atomic.Int64
+
+	sampledOut  atomic.Uint64
+	unknownKeys atomic.Uint64
+	bytesPushed atomic.Uint64
+
+	batchMu sync.Mutex
+	// batches summarizes post-sampling ingest batch sizes. guarded by batchMu
+	batches stats.Summary
+
+	mu sync.Mutex
+	// epoch is the head-assigned incarnation; 0 = never registered. guarded by mu
+	epoch uint64
+	// seq is the last sequence number used. guarded by mu
+	seq uint64
+	// base is the monitor snapshot taken at re-registration: pushes
+	// report the monitor's counters relative to it, so a fresh epoch
+	// starts from zero and the head never double-counts state the old
+	// epoch already retired. Nil for the first epoch. guarded by mu
+	base *Snapshot
+}
+
+// NewMember builds a Member. It does not contact the head until
+// Register or Run.
+func NewMember(cfg MemberConfig) (*Member, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("fleet: member needs an ID")
+	}
+	if cfg.Head == "" {
+		return nil, fmt.Errorf("fleet: member needs a head URL")
+	}
+	if cfg.Monitor == nil {
+		return nil, fmt.Errorf("fleet: member needs a monitor")
+	}
+	if cfg.PushInterval <= 0 {
+		cfg.PushInterval = DefaultPushInterval
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Member{
+		id:       cfg.ID,
+		head:     cfg.Head,
+		mon:      cfg.Monitor,
+		interval: cfg.PushInterval,
+		client:   cfg.Client,
+	}, nil
+}
+
+// Register obtains a (fresh) epoch from the head and stages any
+// config it hands down.
+func (mb *Member) Register(ctx context.Context) error {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return mb.registerLocked(ctx)
+}
+
+func (mb *Member) registerLocked(ctx context.Context) error {
+	var resp RegisterResponse
+	err := mb.post(ctx, "/fleet/register", RegisterRequest{Version: WireVersion, MemberID: mb.id}, &resp)
+	if err != nil {
+		return fmt.Errorf("fleet: register: %w", err)
+	}
+	if resp.Epoch == 0 {
+		return fmt.Errorf("fleet: register: head assigned epoch 0")
+	}
+	if mb.epoch != 0 {
+		// Re-registration within the same process: the old epoch's last
+		// push already covers the monitor's counters up to now, so
+		// rebase this epoch on the current state and reset the
+		// member-owned accumulators.
+		ls := mb.mon.Snapshot()
+		snap := snapshotOf(&ls)
+		mb.base = &snap
+		mb.sampledOut.Store(0)
+		mb.unknownKeys.Store(0)
+		mb.batchMu.Lock()
+		mb.batches = stats.Summary{}
+		mb.batchMu.Unlock()
+	}
+	mb.epoch = resp.Epoch
+	mb.seq = 0
+	if resp.Config != nil {
+		mb.pending.Store(resp.Config)
+	}
+	return nil
+}
+
+// Push snapshots the monitor and pushes to the head. A stale-epoch or
+// unknown-member rejection triggers one re-register and retry, which
+// heals head restarts and expiry evictions transparently. Any config
+// in the response is staged for the next ingest batch.
+func (mb *Member) Push(ctx context.Context) error {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return mb.pushLocked(ctx, false, true)
+}
+
+func (mb *Member) pushLocked(ctx context.Context, final, mayReregister bool) error {
+	if mb.epoch == 0 {
+		if !mayReregister {
+			return fmt.Errorf("fleet: push before register")
+		}
+		if err := mb.registerLocked(ctx); err != nil {
+			return err
+		}
+	}
+	snap := mb.snapshotLocked()
+	mb.seq++
+	snap.Seq = mb.seq
+	snap.Final = final
+
+	body, err := json.Marshal(&snap)
+	if err != nil {
+		return fmt.Errorf("fleet: push: %w", err)
+	}
+	var resp PushResponse
+	if err := mb.postBytes(ctx, "/fleet/push", body, &resp); err != nil {
+		return fmt.Errorf("fleet: push: %w", err)
+	}
+	if !resp.OK {
+		if mayReregister && (resp.Error == ErrStaleEpoch || resp.Error == ErrUnknownMember) {
+			if err := mb.registerLocked(ctx); err != nil {
+				return err
+			}
+			return mb.pushLocked(ctx, final, false)
+		}
+		return fmt.Errorf("fleet: push rejected: %s", resp.Error)
+	}
+	mb.bytesPushed.Add(uint64(len(body)))
+	if resp.Config != nil {
+		mb.pending.Store(resp.Config)
+	}
+	return nil
+}
+
+// snapshotLocked builds the wire snapshot for the current epoch: the
+// monitor's cumulative state rebased on the epoch baseline, plus the
+// member-owned counters. Seq/Final are the caller's.
+func (mb *Member) snapshotLocked() Snapshot {
+	ls := mb.mon.Snapshot()
+	snap := snapshotOf(&ls)
+	if mb.base != nil {
+		subSnapshot(&snap, mb.base)
+	}
+	snap.MemberID = mb.id
+	snap.Epoch = mb.epoch
+	snap.ConfigVersion = mb.cfgVersion.Load()
+	snap.SampledOut = mb.sampledOut.Load()
+	snap.UnknownConfigKeys = mb.unknownKeys.Load()
+	mb.batchMu.Lock()
+	snap.IngestBatchSizes = mb.batches.State()
+	mb.batchMu.Unlock()
+	return snap
+}
+
+// Snapshot builds (without pushing) the snapshot the next push would
+// carry, minus its sequence number. For tests and local inspection.
+func (mb *Member) Snapshot() Snapshot {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return mb.snapshotLocked()
+}
+
+// Run registers and then pushes on the configured interval until ctx
+// is canceled. Transient push errors are tolerated: cumulative
+// snapshots mean the next success heals any gap.
+func (mb *Member) Run(ctx context.Context) error {
+	if err := mb.Register(ctx); err != nil {
+		return err
+	}
+	tick := time.NewTicker(mb.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+			_ = mb.Push(ctx)
+		}
+	}
+}
+
+// Close shuts the monitor down (settling every flow into the
+// aggregates) and sends the final push, after which the head retires
+// this epoch. The member can register again afterwards.
+func (mb *Member) Close(ctx context.Context) error {
+	mb.mon.Close()
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return mb.pushLocked(ctx, true, true)
+}
+
+// IngestBatch applies any staged config, samples the batch, and feeds
+// it to the monitor, blocking until the records are queued.
+func (mb *Member) IngestBatch(evs []trace.RecordEvent) {
+	mb.WrapIngest(func(kept []trace.RecordEvent) { mb.mon.IngestBatchWait(kept) })(evs)
+}
+
+// WrapIngest decorates a monitor ingest function with the member's
+// batch-boundary duties: apply staged config first, then flow
+// sampling, then batch-size accounting.
+func (mb *Member) WrapIngest(fn func([]trace.RecordEvent)) func([]trace.RecordEvent) {
+	return func(evs []trace.RecordEvent) {
+		mb.applyPending()
+		kept := mb.sampleBatch(evs)
+		mb.batchMu.Lock()
+		mb.batches.Add(float64(len(kept)))
+		mb.batchMu.Unlock()
+		fn(kept)
+	}
+}
+
+// applyPending applies the staged config update, if any. Known keys
+// map onto the monitor's runtime knobs; unknown keys — and known keys
+// with values of the wrong shape — are counted and skipped, so a
+// newer head never breaks an older member.
+func (mb *Member) applyPending() {
+	cu := mb.pending.Swap(nil)
+	if cu == nil {
+		return
+	}
+	for k, v := range cu.Settings {
+		ok := false
+		switch k {
+		case SettingSampleOneIn:
+			var n int
+			if n, ok = asInt(v); ok {
+				mb.sampleOneIn.Store(int64(n))
+			}
+		case SettingMaxRecordsPerFlow:
+			var n int
+			if n, ok = asInt(v); ok {
+				mb.mon.SetMaxRecordsPerFlow(n)
+			}
+		case SettingTriage:
+			var on bool
+			if on, ok = asBool(v); ok {
+				ok = mb.mon.SetTriageEnabled(on)
+			}
+		case SettingFlight:
+			var on bool
+			if on, ok = asBool(v); ok {
+				ok = mb.mon.SetFlightEnabled(on)
+			}
+		}
+		if !ok {
+			mb.unknownKeys.Add(1)
+		}
+	}
+	mb.cfgVersion.Store(cu.Version)
+}
+
+// WrapIngestEvent is WrapIngest for per-event sources (pcap replay,
+// live streaming): staged config applies between events, and sampling
+// stays flow-granular through the hash. Batch-size accounting is
+// skipped — a stream has no batches to summarize.
+func (mb *Member) WrapIngestEvent(fn func(trace.RecordEvent) bool) func(trace.RecordEvent) bool {
+	return func(ev trace.RecordEvent) bool {
+		if mb.pending.Load() != nil {
+			mb.applyPending()
+		}
+		if n := mb.sampleOneIn.Load(); n > 1 && flowHash(ev.FlowID)%uint32(n) != 0 {
+			mb.sampledOut.Add(1)
+			return true
+		}
+		return fn(ev)
+	}
+}
+
+// sampleBatch drops flows hashed out by the sample_one_in setting.
+// Sampling is flow-granular — every record of a flow shares its fate —
+// so kept flows are still analyzed whole.
+func (mb *Member) sampleBatch(evs []trace.RecordEvent) []trace.RecordEvent {
+	n := mb.sampleOneIn.Load()
+	if n <= 1 {
+		return evs
+	}
+	kept := evs[:0:len(evs)]
+	dropped := uint64(0)
+	for _, ev := range evs {
+		if flowHash(ev.FlowID)%uint32(n) == 0 {
+			kept = append(kept, ev)
+		} else {
+			dropped++
+		}
+	}
+	if dropped > 0 {
+		mb.sampledOut.Add(dropped)
+	}
+	return kept
+}
+
+// flowHash is FNV-1a over the flow ID, allocation-free (the sampler
+// sits on the ingest hot path).
+func flowHash(id string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// MemberStats is the member's own accounting, for tests and tapod's
+// report.
+type MemberStats struct {
+	Epoch             uint64 `json:"epoch"`
+	Seq               uint64 `json:"seq"`
+	ConfigVersion     uint64 `json:"config_version"`
+	SampledOut        uint64 `json:"records_sampled_out"`
+	UnknownConfigKeys uint64 `json:"unknown_config_keys"`
+	BytesPushed       uint64 `json:"bytes_pushed"`
+}
+
+// Stats snapshots the member's counters.
+func (mb *Member) Stats() MemberStats {
+	mb.mu.Lock()
+	epoch, seq := mb.epoch, mb.seq
+	mb.mu.Unlock()
+	return MemberStats{
+		Epoch:             epoch,
+		Seq:               seq,
+		ConfigVersion:     mb.cfgVersion.Load(),
+		SampledOut:        mb.sampledOut.Load(),
+		UnknownConfigKeys: mb.unknownKeys.Load(),
+		BytesPushed:       mb.bytesPushed.Load(),
+	}
+}
+
+// post marshals req and decodes the response into out.
+func (mb *Member) post(ctx context.Context, path string, req any, out any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	return mb.postBytes(ctx, path, body, out)
+}
+
+func (mb *Member) postBytes(ctx context.Context, path string, body []byte, out any) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, mb.head+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := mb.client.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer hresp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(hresp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if hresp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", hresp.Status, bytes.TrimSpace(data))
+	}
+	return json.Unmarshal(data, out)
+}
+
+// subSnapshot rebases snap on base: every monitor-derived cumulative
+// counter becomes "since base". Gauges and the rolling window pass
+// through untouched, and member-owned counters are reset (not
+// subtracted) at re-registration, so they are not handled here.
+func subSnapshot(snap, base *Snapshot) {
+	snap.Ingested = sub64(snap.Ingested, base.Ingested)
+	snap.RingDrops = sub64(snap.RingDrops, base.RingDrops)
+	snap.RecordsFed = sub64(snap.RecordsFed, base.RecordsFed)
+	snap.RecordCapDrops = sub64(snap.RecordCapDrops, base.RecordCapDrops)
+	snap.FlowsSeen = sub64(snap.FlowsSeen, base.FlowsSeen)
+	snap.FlowsTruncated = sub64(snap.FlowsTruncated, base.FlowsTruncated)
+	snap.TriageFastRecords = sub64(snap.TriageFastRecords, base.TriageFastRecords)
+	snap.TriageRepromotions = sub64(snap.TriageRepromotions, base.TriageRepromotions)
+	snap.TriageDemotions = sub64(snap.TriageDemotions, base.TriageDemotions)
+	snap.TriageTruncatedPromotions = sub64(snap.TriageTruncatedPromotions, base.TriageTruncatedPromotions)
+	snap.FlowsEvicted = subMap(snap.FlowsEvicted, base.FlowsEvicted)
+	snap.TriagePromotions = subMap(snap.TriagePromotions, base.TriagePromotions)
+	snap.Stalls = subStalls(snap.Stalls, base.Stalls)
+	snap.Retrans = subRetrans(snap.Retrans, base.Retrans)
+	if boundsEqual(snap.DurationsMS.Bounds, base.DurationsMS.Bounds) {
+		for i := range snap.DurationsMS.Counts {
+			snap.DurationsMS.Counts[i] = sub64(snap.DurationsMS.Counts[i], base.DurationsMS.Counts[i])
+		}
+		snap.DurationsMS.Sum -= base.DurationsMS.Sum
+	}
+}
+
+// sub64 subtracts with a floor at zero: the minuend is cumulative and
+// monotone, so a would-be underflow means a bug upstream, and a zero
+// beats poisoning fleet totals with a wrapped uint64.
+func sub64(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
+func subMap(cur, base map[string]uint64) map[string]uint64 {
+	if len(cur) == 0 {
+		return nil
+	}
+	out := map[string]uint64{}
+	for k, n := range cur {
+		if d := sub64(n, base[k]); d > 0 {
+			out[k] = d
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+func subStalls(cur, base []StallCounter) []StallCounter {
+	if len(cur) == 0 {
+		return nil
+	}
+	prev := map[StallKey]StallCounter{}
+	for _, sc := range base {
+		prev[StallKey{Service: sc.Service, Cause: sc.Cause}] = sc
+	}
+	var out []StallCounter
+	for _, sc := range cur {
+		b := prev[StallKey{Service: sc.Service, Cause: sc.Cause}]
+		sc.Count = sub64(sc.Count, b.Count)
+		sc.Seconds -= b.Seconds
+		if sc.Count > 0 || sc.Seconds != 0 {
+			out = append(out, sc)
+		}
+	}
+	return out
+}
+
+func subRetrans(cur, base []RetransCounter) []RetransCounter {
+	if len(cur) == 0 {
+		return nil
+	}
+	prev := map[string]RetransCounter{}
+	for _, rc := range base {
+		prev[rc.Subcause] = rc
+	}
+	var out []RetransCounter
+	for _, rc := range cur {
+		b := prev[rc.Subcause]
+		rc.Count = sub64(rc.Count, b.Count)
+		rc.Seconds -= b.Seconds
+		if rc.Count > 0 || rc.Seconds != 0 {
+			out = append(out, rc)
+		}
+	}
+	return out
+}
+
+// asInt accepts the integer shapes a JSON decode can produce.
+func asInt(v any) (int, bool) {
+	switch x := v.(type) {
+	case float64:
+		if x == math.Trunc(x) {
+			return int(x), true
+		}
+	case int:
+		return x, true
+	case int64:
+		return int(x), true
+	}
+	return 0, false
+}
+
+// asBool accepts booleans and their common string spellings ("on",
+// "off", …), since tapoctl config presets arrive as strings.
+func asBool(v any) (bool, bool) {
+	switch x := v.(type) {
+	case bool:
+		return x, true
+	case string:
+		switch x {
+		case "on", "true", "1":
+			return true, true
+		case "off", "false", "0":
+			return false, true
+		}
+	}
+	return false, false
+}

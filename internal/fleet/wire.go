@@ -1,0 +1,252 @@
+// Package fleet is the aggregation tier above the per-host monitor:
+// many tapod members, one tapoctl head. Members periodically snapshot
+// their rolling-window state — per-service stall counters, mergeable
+// histograms and summaries, triage and eviction accounting — into a
+// versioned wire Snapshot and push it to the head over HTTP. The head
+// merges snapshots into fleet-wide state and pushes config back down
+// in the heartbeat (push) responses.
+//
+// Protocol invariants:
+//
+//   - Snapshots carry CUMULATIVE counters since the member epoch
+//     started, and the head stores only the latest snapshot per
+//     epoch (replace, never add). A delayed duplicate or a lost push
+//     therefore never double-counts or leaks: the next push heals
+//     everything.
+//   - The head assigns each registration a fresh, globally monotonic
+//     epoch. A restarted member re-registers, gets a new epoch, and
+//     the head retires the old epoch's last snapshot into a frozen
+//     total — pushes still in flight from the dead epoch are
+//     rejected as stale.
+//   - Sequence numbers are per-epoch and strictly increasing; the
+//     head discards any push whose seq does not advance.
+//
+// Fleet-wide totals are then: retired-epoch totals + the latest
+// snapshot of every live epoch. Aggregate implements exactly that
+// merge, and the differential test pins that the head's totals after
+// arbitrary protocol churn (restarts, duplicates, reordering) are
+// byte-identical to a direct merge of the members' final reports.
+package fleet
+
+import (
+	"sort"
+
+	"tcpstall/internal/live"
+	"tcpstall/internal/stats"
+)
+
+// WireVersion is the snapshot schema version. The head rejects
+// snapshots whose version it does not speak; bumping this is the
+// signal that a field changed meaning (adding fields is not a bump —
+// unknown JSON fields are ignored on both sides).
+const WireVersion = 1
+
+// Snapshot is one member's cumulative state as pushed to the head.
+type Snapshot struct {
+	Version  int    `json:"version"`
+	MemberID string `json:"member_id"`
+	// Epoch is the head-assigned incarnation of this member; Seq
+	// increases by one per push within the epoch.
+	Epoch uint64 `json:"epoch"`
+	Seq   uint64 `json:"seq"`
+	// Final marks the member's last push before shutdown: the state is
+	// settled (every flow flushed), so the head may retire the epoch
+	// without waiting for expiry.
+	Final bool `json:"final,omitempty"`
+	// ConfigVersion is the head config version the member has applied,
+	// so the head can tell which members have converged.
+	ConfigVersion uint64 `json:"config_version"`
+
+	ActiveFlows       int               `json:"active_flows"`
+	Ingested          uint64            `json:"records_ingested"`
+	RingDrops         uint64            `json:"ring_drops"`
+	RecordsFed        uint64            `json:"records_fed"`
+	RecordCapDrops    uint64            `json:"record_cap_drops"`
+	SampledOut        uint64            `json:"records_sampled_out"`
+	FlowsSeen         uint64            `json:"flows_seen"`
+	FlowsEvicted      map[string]uint64 `json:"flows_evicted,omitempty"`
+	FlowsTruncated    uint64            `json:"flows_truncated"`
+	UnknownConfigKeys uint64            `json:"unknown_config_keys"`
+
+	PromotedFlows             int               `json:"promoted_flows"`
+	ParkedFlows               int               `json:"parked_flows"`
+	TriageFastRecords         uint64            `json:"triage_fast_records"`
+	TriagePromotions          map[string]uint64 `json:"triage_promotions,omitempty"`
+	TriageRepromotions        uint64            `json:"triage_repromotions"`
+	TriageDemotions           uint64            `json:"triage_demotions"`
+	TriageTruncatedPromotions uint64            `json:"triage_truncated_promotions"`
+
+	// Stalls and Retrans are sorted by (service, cause) and subcause
+	// respectively — composite keys cannot be JSON map keys, and the
+	// sorted slice keeps the encoding canonical.
+	Stalls      []StallCounter       `json:"stalls,omitempty"`
+	Retrans     []RetransCounter     `json:"retrans,omitempty"`
+	DurationsMS stats.HistogramState `json:"stall_duration_ms"`
+
+	// IngestBatchSizes summarizes the member's post-sampling ingest
+	// batch sizes — a fleet-wide view of batching health.
+	IngestBatchSizes stats.SummaryState `json:"ingest_batch_sizes"`
+
+	// The rolling window, for "right now" fleet views. Only live
+	// members' windows are summed; retired epochs contribute nothing
+	// recent by definition.
+	WindowSpanS  float64        `json:"window_span_s"`
+	WindowStalls []StallCounter `json:"window_stalls,omitempty"`
+}
+
+// StallCounter is one (service, cause) stall cell.
+type StallCounter struct {
+	Service string  `json:"service"`
+	Cause   string  `json:"cause"`
+	Count   uint64  `json:"count"`
+	Seconds float64 `json:"seconds"`
+}
+
+// RetransCounter is one Table-5 retransmission sub-cause cell.
+type RetransCounter struct {
+	Subcause string  `json:"subcause"`
+	Count    uint64  `json:"count"`
+	Seconds  float64 `json:"seconds"`
+}
+
+// RegisterRequest announces a member (or a restarted incarnation of
+// one) to the head.
+type RegisterRequest struct {
+	Version  int    `json:"version"`
+	MemberID string `json:"member_id"`
+}
+
+// RegisterResponse assigns the member its epoch and hands down the
+// current config, if any has been set.
+type RegisterResponse struct {
+	Epoch  uint64        `json:"epoch"`
+	Config *ConfigUpdate `json:"config,omitempty"`
+}
+
+// Push rejection reasons, as they appear in PushResponse.Error and
+// the head's metrics labels.
+const (
+	ErrUnknownMember = "unknown_member" // push before register (or head restarted)
+	ErrStaleEpoch    = "stale_epoch"    // a newer incarnation of this member registered
+	ErrDuplicateSeq  = "duplicate_seq"  // seq did not advance (delayed duplicate)
+	ErrBadSnapshot   = "bad_snapshot"   // malformed or version-incompatible payload
+)
+
+// PushResponse doubles as the heartbeat response: acceptance status
+// plus the config downlink when the head's config is newer than what
+// the member reports applied.
+type PushResponse struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// Config is present when the member should apply a newer config;
+	// members stage it and apply between ingest batches.
+	Config *ConfigUpdate `json:"config,omitempty"`
+}
+
+// ConfigUpdate is the head→member config downlink. Settings is an
+// open key space for forward compatibility: a member applies the keys
+// it knows (see the Setting* constants) and counts the ones it does
+// not, so a newer head can talk to an older member without breaking
+// it.
+type ConfigUpdate struct {
+	Version  uint64         `json:"version"`
+	Settings map[string]any `json:"settings,omitempty"`
+}
+
+// The setting keys members understand.
+const (
+	// SettingSampleOneIn keeps 1 flow in N (flow-granular, by flow-ID
+	// hash); 1 or 0 keeps everything.
+	SettingSampleOneIn = "sample_one_in"
+	// SettingMaxRecordsPerFlow retunes the per-flow analyzer record
+	// cap (-1 unlimited, 0 restores the member's configured default).
+	SettingMaxRecordsPerFlow = "max_records_per_flow"
+	// SettingTriage steers new flows onto ("on"/true) or off
+	// ("off"/false) the two-phase fast path.
+	SettingTriage = "triage"
+	// SettingFlight attaches (true) or withholds (false) flight
+	// recorders on new analyzers.
+	SettingFlight = "flight"
+)
+
+// snapshotOf converts a live monitor snapshot into wire form.
+// Identity (member, epoch, seq) and member-level counters (sampling,
+// config) are the caller's to fill.
+func snapshotOf(s *live.Snapshot) Snapshot {
+	out := Snapshot{
+		Version:     WireVersion,
+		ActiveFlows: s.ActiveFlows,
+		Ingested:    s.Ingested,
+		RingDrops:   s.RingDrops,
+		RecordsFed:  s.RecordsFed,
+
+		RecordCapDrops: s.RecordsCapDrop,
+		FlowsSeen:      s.FlowsSeen,
+		FlowsTruncated: s.FlowsTruncated,
+
+		PromotedFlows:             s.PromotedFlows,
+		ParkedFlows:               s.ParkedFlows,
+		TriageFastRecords:         s.TriageFastRecords,
+		TriageRepromotions:        s.TriageRepromotions,
+		TriageDemotions:           s.TriageDemotions,
+		TriageTruncatedPromotions: s.TriageTruncatedPromotions,
+
+		WindowSpanS: s.Window.Span.Seconds(),
+	}
+	if len(s.FlowsEvicted) > 0 {
+		out.FlowsEvicted = make(map[string]uint64, len(s.FlowsEvicted))
+		for k, n := range s.FlowsEvicted {
+			out.FlowsEvicted[k] = n
+		}
+	}
+	if len(s.TriagePromotions) > 0 {
+		out.TriagePromotions = make(map[string]uint64, len(s.TriagePromotions))
+		for k, n := range s.TriagePromotions {
+			out.TriagePromotions[k] = n
+		}
+	}
+	out.Stalls = stallCounters(s.StallCount, s.StallSeconds)
+	out.WindowStalls = stallCounters(s.Window.StallCount, s.Window.StallSeconds)
+	for c, n := range s.RetransCount {
+		out.Retrans = append(out.Retrans, RetransCounter{
+			Subcause: c.String(),
+			Count:    n,
+			Seconds:  s.RetransSeconds[c],
+		})
+	}
+	sort.Slice(out.Retrans, func(i, j int) bool { return out.Retrans[i].Subcause < out.Retrans[j].Subcause })
+	if s.DurationsMS != nil {
+		out.DurationsMS = s.DurationsMS.State()
+	} else {
+		out.DurationsMS = stats.NewHistogram(live.DurationBoundsMS).State()
+	}
+	return out
+}
+
+// stallCounters flattens cause-keyed maps into the canonical sorted
+// slice form.
+func stallCounters(count map[live.CauseKey]uint64, secs map[live.CauseKey]float64) []StallCounter {
+	if len(count) == 0 {
+		return nil
+	}
+	out := make([]StallCounter, 0, len(count))
+	for k, n := range count {
+		out = append(out, StallCounter{
+			Service: k.Service,
+			Cause:   k.Cause.String(),
+			Count:   n,
+			Seconds: secs[k],
+		})
+	}
+	sortStalls(out)
+	return out
+}
+
+func sortStalls(s []StallCounter) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Service != s[j].Service {
+			return s[i].Service < s[j].Service
+		}
+		return s[i].Cause < s[j].Cause
+	})
+}

@@ -10,3 +10,12 @@ import (
 func TestJsontags(t *testing.T) {
 	linttest.Run(t, lint.Jsontags, "testdata/jsontags/j", "tcpstall/internal/live/j")
 }
+
+// TestJsontagsFleetWire covers the fleet protocol shapes: the
+// seeded package mirrors internal/fleet/wire.go's structs with the
+// drift modes a hand-evolved wire format grows (untagged counter,
+// Go-cased tag, duplicated key, tag on an unexported field), plus
+// clean protocol structs as false-positive guards.
+func TestJsontagsFleetWire(t *testing.T) {
+	linttest.Run(t, lint.Jsontags, "testdata/jsontags/fleetwire", "tcpstall/internal/fleet/fleetwire")
+}

@@ -99,6 +99,15 @@ func NewHandler(m *Monitor) http.Handler {
 				"init_rto":   cfg.Analysis.InitRTO.String(),
 				"min_rto":    cfg.Analysis.MinRTO.String(),
 			},
+			// The runtime block is the live truth: these values start as
+			// the constructed configuration but can be retuned while the
+			// monitor runs (a fleet head pushes them via the member's
+			// heartbeat responses).
+			"runtime": map[string]any{
+				"max_records_per_flow": m.MaxRecordsPerFlow(),
+				"triage_enabled":       m.TriageEnabled(),
+				"flight_enabled":       m.FlightEnabled(),
+			},
 		}
 		if cfg.Triage != nil {
 			out["triage"] = map[string]any{

@@ -169,6 +169,16 @@ type Monitor struct {
 	ingested  atomic.Uint64
 	ringDrops atomic.Uint64
 
+	// Runtime-tunable knobs — the subset of Config a fleet head may
+	// re-push while the monitor runs. Reads are single atomic loads on
+	// the feed path; writes take effect for subsequent records
+	// (dynMaxRecs) or subsequently admitted flows (dynTriage,
+	// dynFlight), so a caller that only writes between ingest batches
+	// gets batch-atomic semantics.
+	dynMaxRecs atomic.Int64
+	dynTriage  atomic.Bool
+	dynFlight  atomic.Bool
+
 	// batchFree recycles the per-shard event buffers IngestBatchWait
 	// splits a batch into: the shard returns each buffer after
 	// draining it, so steady-state batch intake allocates nothing.
@@ -215,6 +225,9 @@ func (p *batchFreeList) put(b []trace.RecordEvent) {
 func New(cfg Config) *Monitor {
 	cfg.defaults()
 	m := &Monitor{cfg: cfg}
+	m.dynMaxRecs.Store(int64(cfg.MaxRecordsPerFlow))
+	m.dynTriage.Store(cfg.Triage != nil)
+	m.dynFlight.Store(cfg.Flight != nil)
 	m.recent.buf = make([]core.LiveStall, cfg.RecentStalls)
 	perShard := cfg.MaxFlows / cfg.Shards
 	if perShard < 1 {
@@ -239,6 +252,54 @@ func New(cfg Config) *Monitor {
 
 // Config reports the (defaulted) configuration in effect.
 func (m *Monitor) Config() Config { return m.cfg }
+
+// SetMaxRecordsPerFlow retunes the per-flow analyzer record cap at
+// runtime: n > 0 sets the cap, n < 0 disables it, n == 0 restores the
+// constructed configuration's value. Takes effect for the next record
+// of every flow (already-truncated flows stay truncated).
+func (m *Monitor) SetMaxRecordsPerFlow(n int) {
+	if n == 0 {
+		n = m.cfg.MaxRecordsPerFlow
+	}
+	m.dynMaxRecs.Store(int64(n))
+}
+
+// MaxRecordsPerFlow reports the per-flow record cap currently in
+// effect (negative: unlimited).
+func (m *Monitor) MaxRecordsPerFlow() int { return int(m.dynMaxRecs.Load()) }
+
+// SetTriageEnabled steers subsequently admitted flows onto (true) or
+// off (false) the two-phase fast path. Flows already admitted keep
+// the mode they started with — mid-flow conversion would forfeit the
+// byte-identical-verdict guarantee. Enabling requires Config.Triage
+// to have been set at construction (the fast-path thresholds and
+// shard arenas exist only then); it reports whether the request took
+// effect.
+func (m *Monitor) SetTriageEnabled(on bool) bool {
+	if on && m.cfg.Triage == nil {
+		return false
+	}
+	m.dynTriage.Store(on)
+	return true
+}
+
+// TriageEnabled reports whether newly admitted flows start on the
+// triage fast path.
+func (m *Monitor) TriageEnabled() bool { return m.cfg.Triage != nil && m.dynTriage.Load() }
+
+// SetFlightEnabled attaches (true) or withholds (false) flight
+// recorders on subsequently created analyzers. Requires Config.Flight
+// at construction; reports whether the request took effect.
+func (m *Monitor) SetFlightEnabled(on bool) bool {
+	if on && m.cfg.Flight == nil {
+		return false
+	}
+	m.dynFlight.Store(on)
+	return true
+}
+
+// FlightEnabled reports whether new analyzers get a flight recorder.
+func (m *Monitor) FlightEnabled() bool { return m.cfg.Flight != nil && m.dynFlight.Load() }
 
 // Start launches the shard workers.
 func (m *Monitor) Start() {
@@ -548,7 +609,7 @@ func (sh *shard) admitLocked(now time.Time, ev *trace.RecordEvent) *flowEntry {
 				InitRwnd: ev.InitRwnd,
 			},
 		}
-		if sh.m.cfg.Triage != nil {
+		if sh.m.TriageEnabled() {
 			// Two-phase mode: the flow starts on the fast path; the
 			// analyzer is built lazily at first promotion. Ring backings
 			// come from the shard arena and return at eviction.
@@ -557,7 +618,7 @@ func (sh *shard) admitLocked(now time.Time, ev *trace.RecordEvent) *flowEntry {
 			e.inc = core.NewIncremental(sh.m.cfg.Analysis)
 			e.inc.SetMeta(e.meta)
 			e.inc.OnStall = sh.stallClosedLocked
-			if sh.m.cfg.Flight != nil {
+			if sh.m.FlightEnabled() {
 				e.rec = flight.NewRecorder(*sh.m.cfg.Flight)
 				e.inc.SetRecorder(e.rec)
 			}
@@ -596,7 +657,7 @@ func (sh *shard) absorbMetaLocked(e *flowEntry, ev *trace.RecordEvent) {
 // already-admitted flow, reporting whether the flow was evicted.
 // Callers hold sh.mu.
 func (sh *shard) feedLocked(e *flowEntry, ev *trace.RecordEvent) bool {
-	capRecs := sh.m.cfg.MaxRecordsPerFlow
+	capRecs := int(sh.m.dynMaxRecs.Load())
 	over := false
 	if capRecs > 0 {
 		if e.tri != nil {
@@ -656,7 +717,7 @@ func (sh *shard) processRunLocked(now time.Time, run []trace.RecordEvent) int {
 // many events it consumed. Callers hold sh.mu.
 func (sh *shard) feedRunLocked(e *flowEntry, run []trace.RecordEvent) int {
 	pending := sh.scratch[:0]
-	capRecs := sh.m.cfg.MaxRecordsPerFlow
+	capRecs := int(sh.m.dynMaxRecs.Load())
 	consumed := len(run)
 	evict := false
 	for i := range run {
@@ -743,7 +804,7 @@ func (sh *shard) promoteLocked(e *flowEntry, sym triage.Symptom) {
 		e.inc = core.NewIncremental(sh.m.cfg.Analysis)
 		e.inc.SetMeta(e.meta)
 		e.inc.OnStall = sh.stallClosedLocked
-		if sh.m.cfg.Flight != nil {
+		if sh.m.FlightEnabled() {
 			e.rec = flight.NewRecorder(*sh.m.cfg.Flight)
 			e.inc.SetRecorder(e.rec)
 		}
