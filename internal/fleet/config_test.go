@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -205,5 +206,69 @@ func TestConfigSampling(t *testing.T) {
 	mb.IngestBatch(cfgEvents("t", 8, 3))
 	if got := mon.Snapshot().Ingested - beforeIn; got != 24 {
 		t.Errorf("post-reset batch ingested %d records, want all 24", got)
+	}
+}
+
+// TestConfigSamplingRejectsUnrepresentable is the regression test for
+// the sample_one_in downlink: 2^32 passes the n>1 hot-path guard but
+// truncates to a zero uint32 modulus, so the old ingest path panicked
+// with an integer divide by zero — remotely triggerable via config
+// push. Out-of-range values must be rejected like malformed ones
+// (counted, not applied), and the largest representable N must sample
+// without panicking on both the batch and per-event paths.
+func TestConfigSamplingRejectsUnrepresentable(t *testing.T) {
+	ctx := context.Background()
+	head := NewHead(HeadConfig{})
+	srv := httptest.NewServer(NewHandler(head))
+	defer srv.Close()
+
+	mon := newTestMonitor()
+	defer mon.Close()
+	mb, err := NewMember(MemberConfig{ID: "ovf-m", Head: srv.URL, Monitor: mon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	head.SetConfig(map[string]any{SettingSampleOneIn: float64(1 << 32)})
+	if err := mb.Register(ctx); err != nil {
+		t.Fatal(err)
+	}
+	mb.IngestBatch(cfgEvents("a", 4, 3)) // panicked before the fix
+	st := mb.Stats()
+	if st.UnknownConfigKeys != 1 {
+		t.Errorf("unknown config keys = %d, want 1 (2^32 sample_one_in rejected)", st.UnknownConfigKeys)
+	}
+	if st.SampledOut != 0 {
+		t.Errorf("sampled out %d records under a rejected setting, want 0", st.SampledOut)
+	}
+	if got := mon.Snapshot().Ingested; got != 12 {
+		t.Errorf("ingested %d, want all 12 (rejected setting must not sample)", got)
+	}
+
+	// Negative N is rejected the same way.
+	head.SetConfig(map[string]any{SettingSampleOneIn: -2})
+	if err := mb.Push(ctx); err != nil {
+		t.Fatal(err)
+	}
+	mb.IngestBatch(cfgEvents("b", 4, 3))
+	if st = mb.Stats(); st.UnknownConfigKeys != 2 || st.SampledOut != 0 {
+		t.Errorf("after negative N: unknown=%d sampled=%d, want 2/0", st.UnknownConfigKeys, st.SampledOut)
+	}
+
+	// The largest representable N applies and samples (nearly)
+	// everything out — on the per-event path too — without panicking.
+	head.SetConfig(map[string]any{SettingSampleOneIn: float64(math.MaxUint32)})
+	if err := mb.Push(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ingest := mb.WrapIngestEvent(func(trace.RecordEvent) bool { return true })
+	for _, ev := range cfgEvents("c", 8, 1) {
+		ingest(ev)
+	}
+	st = mb.Stats()
+	if st.UnknownConfigKeys != 2 {
+		t.Errorf("max-uint32 sample_one_in miscounted as unknown: %d keys", st.UnknownConfigKeys)
+	}
+	if st.SampledOut == 0 {
+		t.Error("sample_one_in=2^32-1 sampled nothing out of 8 flows")
 	}
 }

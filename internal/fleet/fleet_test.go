@@ -386,6 +386,116 @@ func TestPushRejectsBadSnapshots(t *testing.T) {
 	}
 }
 
+// TestBadFinalPushLeavesHeadStateUnchanged is the regression test for
+// a rejected Final push: the head used to retire the snapshot BEFORE
+// validating its payload, so one bad final push poisoned h.retired and
+// every Totals() call — /fleet/stalls, /fleet/services, /metrics —
+// failed forever. A rejected push must leave head state untouched: the
+// previous good snapshot keeps contributing, the seq is not burned,
+// the epoch stays live, and no accepted-push counters move.
+func TestBadFinalPushLeavesHeadStateUnchanged(t *testing.T) {
+	head := NewHead(HeadConfig{})
+	reg, err := head.Register(RegisterRequest{Version: WireVersion, MemberID: "m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := head.Push(miniSnap("m", reg.Epoch, 1, 100)); !resp.OK {
+		t.Fatalf("good push: %+v", resp)
+	}
+	before, err := head.Totals()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := miniSnap("m", reg.Epoch, 2, 140)
+	bad.Final = true
+	bad.DurationsMS = stats.HistogramState{Bounds: []float64{1, 2}} // counts missing
+	if resp := head.Push(bad); resp.OK || resp.Error != ErrBadSnapshot {
+		t.Fatalf("bad final push: %+v, want bad_snapshot", resp)
+	}
+
+	after, err := head.Totals()
+	if err != nil {
+		t.Fatalf("totals bricked by a rejected final push: %v", err)
+	}
+	if !bytes.Equal(marshal(t, before), marshal(t, after)) {
+		t.Errorf("rejected final push changed totals\n before: %s\n after:  %s", marshal(t, before), marshal(t, after))
+	}
+	st := head.Stats()
+	if st.Pushes != 1 || st.FinalPushes != 0 {
+		t.Errorf("pushes=%d finals=%d after a rejected final, want 1/0", st.Pushes, st.FinalPushes)
+	}
+	if st.LiveMembers != 1 {
+		t.Errorf("live members = %d, want 1 (rejected final must not retire the epoch)", st.LiveMembers)
+	}
+	if st.Rejects[ErrBadSnapshot] != 1 {
+		t.Errorf("rejects = %v, want one bad_snapshot", st.Rejects)
+	}
+
+	// The epoch is fully usable: the same seq retries with a good
+	// payload, and a good final retires cleanly.
+	if resp := head.Push(miniSnap("m", reg.Epoch, 2, 150)); !resp.OK {
+		t.Fatalf("retry after rejected payload: %+v", resp)
+	}
+	good := miniSnap("m", reg.Epoch, 3, 160)
+	good.Final = true
+	if resp := head.Push(good); !resp.OK {
+		t.Fatalf("good final: %+v", resp)
+	}
+	tot, err := head.Totals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tot.Ingested != 160 || tot.Epochs != 1 {
+		t.Errorf("totals = ingested %d over %d epochs, want 160 over 1", tot.Ingested, tot.Epochs)
+	}
+}
+
+// TestRetiredEpochCompaction pins that dead epochs fold into the
+// compacted running total instead of accumulating forever — a flapping
+// member must not grow head memory or per-push merge cost without
+// bound — and that compaction changes no bits: the head's totals stay
+// byte-identical to a from-scratch Aggregate over every epoch's last
+// snapshot.
+func TestRetiredEpochCompaction(t *testing.T) {
+	head := NewHead(HeadConfig{})
+	const cycles = 50
+	var all []Snapshot
+	for i := 0; i < cycles; i++ {
+		reg, err := head.Register(RegisterRequest{Version: WireVersion, MemberID: "flappy"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := miniSnap("flappy", reg.Epoch, 1, 10)
+		s.Final = i%2 == 1 // retire half by final push, half by re-registration
+		if resp := head.Push(s); !resp.OK {
+			t.Fatalf("cycle %d push: %+v", i, resp)
+		}
+		all = append(all, *s)
+	}
+	head.mu.Lock()
+	pending := len(head.retired)
+	folded := head.compacted.t.Epochs
+	head.mu.Unlock()
+	if pending != 0 {
+		t.Errorf("retired backlog = %d snapshots, want 0 (a single flapping member compacts fully)", pending)
+	}
+	if folded != cycles {
+		t.Errorf("compacted epochs = %d, want %d", folded, cycles)
+	}
+	got, err := head.Totals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Aggregate(all...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(marshal(t, got), marshal(t, want)) {
+		t.Errorf("compacted totals diverged from full aggregate\n head: %s\n sum:  %s", marshal(t, got), marshal(t, want))
+	}
+}
+
 // TestAggregateEmptyMatchesIdleHead pins that a head that has heard
 // nothing and an Aggregate over nothing render identical totals.
 func TestAggregateEmptyMatchesIdleHead(t *testing.T) {

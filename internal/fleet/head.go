@@ -43,8 +43,15 @@ type Head struct {
 	// lastEpoch is the epoch counter; registration hands out
 	// lastEpoch+1. guarded by mu
 	lastEpoch uint64
-	// retired holds the final snapshot of every dead epoch, in
-	// retirement order. guarded by mu
+	// compacted is the running fold of every retired epoch whose
+	// position in the epoch-order fold can no longer change — epochs
+	// below every live member's. Folding them once keeps head memory
+	// and per-push merge cost bounded by live cardinality instead of
+	// epochs-ever-retired. guarded by mu
+	compacted *aggState
+	// retired holds dead epochs not yet folded into compacted: those
+	// whose epoch is still above some live member's, so folding them
+	// now would break the epoch-order fold. guarded by mu
 	retired []Snapshot
 	// config is the current downlink, nil until SetConfig. guarded by mu
 	config *ConfigUpdate
@@ -90,11 +97,12 @@ func NewHead(cfg HeadConfig) *Head {
 		cfg.Expiry = DefaultExpiry
 	}
 	return &Head{
-		clock:    cfg.Clock,
-		expiry:   cfg.Expiry,
-		members:  map[string]*memberState{},
-		mergeLat: stats.NewSample(0),
-		counters: headCounters{rejects: map[string]uint64{}},
+		clock:     cfg.Clock,
+		expiry:    cfg.Expiry,
+		members:   map[string]*memberState{},
+		compacted: newAggState(),
+		mergeLat:  stats.NewSample(0),
+		counters:  headCounters{rejects: map[string]uint64{}},
 	}
 }
 
@@ -132,6 +140,7 @@ func (h *Head) Register(req RegisterRequest) (RegisterResponse, error) {
 	ms.expired = false
 	ms.configVersion = 0
 	h.counters.registrations++
+	h.compactLocked()
 	resp := RegisterResponse{Epoch: ms.epoch}
 	if h.config != nil {
 		resp.Config = h.configCopyLocked()
@@ -163,6 +172,20 @@ func (h *Head) Push(snap *Snapshot) PushResponse {
 		return h.rejectLocked(ErrDuplicateSeq)
 	}
 	cp := *snap
+	// Validate the payload BEFORE committing anything: dry-run the
+	// totals fold with this snapshot standing in for the member's
+	// current one. A payload the fold rejects (histogram layout drift,
+	// corrupt summary) leaves head state untouched — the member's
+	// previous good snapshot keeps contributing, its seq stays where it
+	// was, and a Final flag cannot retire garbage into the compacted
+	// totals. The fold is also the per-push merge cost fleetbench
+	// gates, so it runs under the clock.
+	start := time.Now()
+	_, err := h.foldLocked(ms, &cp)
+	h.mergeLat.Add(float64(time.Since(start)) / float64(time.Millisecond))
+	if err != nil {
+		return h.rejectLocked(ErrBadSnapshot)
+	}
 	ms.last = &cp
 	ms.lastSeq = snap.Seq
 	ms.lastSeen = now
@@ -173,18 +196,7 @@ func (h *Head) Push(snap *Snapshot) PushResponse {
 		ms.final = true
 		h.retireLocked(ms)
 		h.counters.finals++
-	}
-	// Rebuild fleet totals under the clock: the per-push merge cost is
-	// exactly what fleetbench gates, so measure it where it happens.
-	start := time.Now()
-	_, err := h.totalsLocked()
-	h.mergeLat.Add(float64(time.Since(start)) / float64(time.Millisecond))
-	if err != nil {
-		// The snapshot merged at the protocol layer but its payload is
-		// incompatible (histogram layout drift). Drop it from state so
-		// totals stay computable.
-		ms.last = nil
-		return h.rejectLocked(ErrBadSnapshot)
+		h.compactLocked()
 	}
 	resp := PushResponse{OK: true}
 	if h.config != nil && h.config.Version > snap.ConfigVersion {
@@ -213,27 +225,91 @@ func (h *Head) retireLocked(ms *memberState) {
 // sweepLocked retires every live member that has gone silent past the
 // expiry window.
 func (h *Head) sweepLocked(now time.Time) {
+	swept := false
 	for _, ms := range h.members {
 		if !ms.done && now.Sub(ms.lastSeen) > h.expiry {
 			ms.done = true
 			ms.expired = true
 			h.retireLocked(ms)
 			h.counters.expiries++
+			swept = true
 		}
+	}
+	if swept {
+		h.compactLocked()
 	}
 }
 
-// totalsLocked merges retired epochs plus every live member's latest
-// snapshot, in epoch order (see Aggregate).
+// compactLocked folds every retired epoch that can no longer be
+// reordered against a live one — epoch below every live member's —
+// into the compacted running total. Because the compacted prefix is
+// always below everything still pending, the continued fold is the
+// same left fold (same order, same bits) as a from-scratch Aggregate
+// over every epoch: totals never depend on when compaction ran.
+func (h *Head) compactLocked() {
+	if len(h.retired) == 0 {
+		return
+	}
+	threshold := h.lastEpoch + 1
+	for _, ms := range h.members {
+		if !ms.done && ms.epoch < threshold {
+			threshold = ms.epoch
+		}
+	}
+	sort.Slice(h.retired, func(i, j int) bool { return h.retired[i].Epoch < h.retired[j].Epoch })
+	n := 0
+	for n < len(h.retired) && h.retired[n].Epoch < threshold {
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	// Fold into a clone and swap on success: every retired snapshot
+	// already passed full-fold validation at push time, so a failure
+	// here should be impossible — but if one happens, keeping the
+	// epochs uncompacted beats poisoning the running total.
+	next := h.compacted.clone()
+	for i := 0; i < n; i++ {
+		if err := next.add(&h.retired[i]); err != nil {
+			return
+		}
+	}
+	h.compacted = next
+	h.retired = append(h.retired[:0], h.retired[n:]...)
+}
+
+// totalsLocked merges the compacted prefix, uncompacted retired
+// epochs, and every live member's latest snapshot, in epoch order
+// (see Aggregate).
 func (h *Head) totalsLocked() (Totals, error) {
-	snaps := make([]Snapshot, 0, len(h.retired)+len(h.members))
+	return h.foldLocked(nil, nil)
+}
+
+// foldLocked computes fleet totals, optionally substituting candidate
+// for member skip's latest snapshot — Push's dry run: what totals
+// WOULD be if the candidate were accepted, touching no state.
+func (h *Head) foldLocked(skip *memberState, candidate *Snapshot) (Totals, error) {
+	snaps := make([]Snapshot, 0, len(h.retired)+len(h.members)+1)
 	snaps = append(snaps, h.retired...)
 	for _, ms := range h.members {
+		if ms == skip {
+			continue
+		}
 		if ms.last != nil {
 			snaps = append(snaps, *ms.last)
 		}
 	}
-	return Aggregate(snaps...)
+	if candidate != nil {
+		snaps = append(snaps, *candidate)
+	}
+	sort.SliceStable(snaps, func(i, j int) bool { return snaps[i].Epoch < snaps[j].Epoch })
+	a := h.compacted.clone()
+	for i := range snaps {
+		if err := a.add(&snaps[i]); err != nil {
+			return Totals{}, err
+		}
+	}
+	return a.finish(), nil
 }
 
 func (h *Head) configCopyLocked() *ConfigUpdate {
@@ -455,102 +531,171 @@ type Totals struct {
 }
 
 // Aggregate merges snapshots into fleet totals. It is the ONE merge
-// implementation: the head's totals go through it, and the
-// differential test feeds it the members' final reports directly —
-// byte-identical output is the contract. Inputs are folded in epoch
-// order (epochs are globally unique), so float accumulation order —
-// and therefore the exact bits — cannot depend on map iteration.
+// implementation: the head's totals go through it (as a fold continued
+// from the compacted prefix), and the differential test feeds it the
+// members' final reports directly — byte-identical output is the
+// contract. Inputs are folded in epoch order (epochs are globally
+// unique), so float accumulation order — and therefore the exact bits
+// — cannot depend on map iteration or on when the head compacted.
 func Aggregate(snaps ...Snapshot) (Totals, error) {
 	ordered := make([]Snapshot, len(snaps))
 	copy(ordered, snaps)
 	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Epoch < ordered[j].Epoch })
-
-	t := Totals{}
-	var hist *stats.Histogram
-	var batches stats.Summary
-	stalls := map[StallKey]*StallCounter{}
-	retrans := map[string]*RetransCounter{}
+	a := newAggState()
 	for i := range ordered {
-		s := &ordered[i]
-		if s.Version != WireVersion {
-			return Totals{}, fmt.Errorf("fleet: aggregate: snapshot from %q speaks wire v%d, want v%d", s.MemberID, s.Version, WireVersion)
+		if err := a.add(&ordered[i]); err != nil {
+			return Totals{}, err
 		}
-		t.Epochs++
-		t.Ingested += s.Ingested
-		t.RingDrops += s.RingDrops
-		t.RecordsFed += s.RecordsFed
-		t.RecordCapDrops += s.RecordCapDrops
-		t.SampledOut += s.SampledOut
-		t.FlowsSeen += s.FlowsSeen
-		t.FlowsTruncated += s.FlowsTruncated
-		t.UnknownConfigKeys += s.UnknownConfigKeys
-		t.TriageFastRecords += s.TriageFastRecords
-		t.TriageRepromotions += s.TriageRepromotions
-		t.TriageDemotions += s.TriageDemotions
-		t.TriageTruncatedPromotions += s.TriageTruncatedPromotions
-		for k, n := range s.FlowsEvicted {
-			if t.FlowsEvicted == nil {
-				t.FlowsEvicted = map[string]uint64{}
-			}
-			t.FlowsEvicted[k] += n
-		}
-		for k, n := range s.TriagePromotions {
-			if t.TriagePromotions == nil {
-				t.TriagePromotions = map[string]uint64{}
-			}
-			t.TriagePromotions[k] += n
-		}
-		for _, sc := range s.Stalls {
-			k := StallKey{Service: sc.Service, Cause: sc.Cause}
-			cell := stalls[k]
-			if cell == nil {
-				cell = &StallCounter{Service: sc.Service, Cause: sc.Cause}
-				stalls[k] = cell
-			}
-			cell.Count += sc.Count
-			cell.Seconds += sc.Seconds
-		}
-		for _, rc := range s.Retrans {
-			cell := retrans[rc.Subcause]
-			if cell == nil {
-				cell = &RetransCounter{Subcause: rc.Subcause}
-				retrans[rc.Subcause] = cell
-			}
-			cell.Count += rc.Count
-			cell.Seconds += rc.Seconds
-		}
-		hs, err := stats.HistogramFromState(s.DurationsMS)
-		if err != nil {
-			return Totals{}, fmt.Errorf("fleet: aggregate: snapshot from %q: %w", s.MemberID, err)
-		}
-		if hist == nil {
-			hist = hs
-		} else {
-			if !boundsEqual(hist.Bounds(), hs.Bounds()) {
-				return Totals{}, fmt.Errorf("fleet: aggregate: snapshot from %q has a different histogram layout", s.MemberID)
-			}
-			hist.Merge(hs)
-		}
-		bs, err := stats.SummaryFromState(s.IngestBatchSizes)
-		if err != nil {
-			return Totals{}, fmt.Errorf("fleet: aggregate: snapshot from %q: %w", s.MemberID, err)
-		}
-		batches.Merge(bs)
 	}
-	for _, cell := range stalls {
+	return a.finish(), nil
+}
+
+// aggState is the incremental epoch-order fold behind Aggregate. The
+// head keeps one as its compacted-prefix accumulator; continuing a
+// fold from a clone produces the same left fold — the same float
+// additions in the same order — as refolding every snapshot from
+// scratch.
+type aggState struct {
+	// t accumulates the scalar and map counter fields; the slice and
+	// distribution fields are rendered by finish.
+	t       Totals
+	hist    *stats.Histogram
+	batches stats.Summary
+	stalls  map[StallKey]*StallCounter
+	retrans map[string]*RetransCounter
+}
+
+func newAggState() *aggState {
+	return &aggState{
+		stalls:  map[StallKey]*StallCounter{},
+		retrans: map[string]*RetransCounter{},
+	}
+}
+
+// add folds one snapshot in. On error the state is garbage — callers
+// fold into a throwaway clone when they need to survive a failure.
+func (a *aggState) add(s *Snapshot) error {
+	if s.Version != WireVersion {
+		return fmt.Errorf("fleet: aggregate: snapshot from %q speaks wire v%d, want v%d", s.MemberID, s.Version, WireVersion)
+	}
+	t := &a.t
+	t.Epochs++
+	t.Ingested += s.Ingested
+	t.RingDrops += s.RingDrops
+	t.RecordsFed += s.RecordsFed
+	t.RecordCapDrops += s.RecordCapDrops
+	t.SampledOut += s.SampledOut
+	t.FlowsSeen += s.FlowsSeen
+	t.FlowsTruncated += s.FlowsTruncated
+	t.UnknownConfigKeys += s.UnknownConfigKeys
+	t.TriageFastRecords += s.TriageFastRecords
+	t.TriageRepromotions += s.TriageRepromotions
+	t.TriageDemotions += s.TriageDemotions
+	t.TriageTruncatedPromotions += s.TriageTruncatedPromotions
+	for k, n := range s.FlowsEvicted {
+		if t.FlowsEvicted == nil {
+			t.FlowsEvicted = map[string]uint64{}
+		}
+		t.FlowsEvicted[k] += n
+	}
+	for k, n := range s.TriagePromotions {
+		if t.TriagePromotions == nil {
+			t.TriagePromotions = map[string]uint64{}
+		}
+		t.TriagePromotions[k] += n
+	}
+	for _, sc := range s.Stalls {
+		k := StallKey{Service: sc.Service, Cause: sc.Cause}
+		cell := a.stalls[k]
+		if cell == nil {
+			cell = &StallCounter{Service: sc.Service, Cause: sc.Cause}
+			a.stalls[k] = cell
+		}
+		cell.Count += sc.Count
+		cell.Seconds += sc.Seconds
+	}
+	for _, rc := range s.Retrans {
+		cell := a.retrans[rc.Subcause]
+		if cell == nil {
+			cell = &RetransCounter{Subcause: rc.Subcause}
+			a.retrans[rc.Subcause] = cell
+		}
+		cell.Count += rc.Count
+		cell.Seconds += rc.Seconds
+	}
+	hs, err := stats.HistogramFromState(s.DurationsMS)
+	if err != nil {
+		return fmt.Errorf("fleet: aggregate: snapshot from %q: %w", s.MemberID, err)
+	}
+	if a.hist == nil {
+		a.hist = hs
+	} else {
+		if !boundsEqual(a.hist.Bounds(), hs.Bounds()) {
+			return fmt.Errorf("fleet: aggregate: snapshot from %q has a different histogram layout", s.MemberID)
+		}
+		a.hist.Merge(hs)
+	}
+	bs, err := stats.SummaryFromState(s.IngestBatchSizes)
+	if err != nil {
+		return fmt.Errorf("fleet: aggregate: snapshot from %q: %w", s.MemberID, err)
+	}
+	a.batches.Merge(bs)
+	return nil
+}
+
+// clone deep-copies the accumulator so a continued fold cannot
+// disturb the original.
+func (a *aggState) clone() *aggState {
+	cp := newAggState()
+	cp.t = a.t
+	cp.t.FlowsEvicted = copyCounts(a.t.FlowsEvicted)
+	cp.t.TriagePromotions = copyCounts(a.t.TriagePromotions)
+	if a.hist != nil {
+		cp.hist = a.hist.Clone()
+	}
+	cp.batches = a.batches
+	for k, v := range a.stalls {
+		c := *v
+		cp.stalls[k] = &c
+	}
+	for k, v := range a.retrans {
+		c := *v
+		cp.retrans[k] = &c
+	}
+	return cp
+}
+
+// finish renders the accumulated fold as Totals. The result shares the
+// map fields with a, so finish a clone (or a state about to be
+// discarded), never a live accumulator.
+func (a *aggState) finish() Totals {
+	t := a.t
+	for _, cell := range a.stalls {
 		t.Stalls = append(t.Stalls, *cell)
 	}
 	sortStalls(t.Stalls)
-	for _, cell := range retrans {
+	for _, cell := range a.retrans {
 		t.Retrans = append(t.Retrans, *cell)
 	}
 	sort.Slice(t.Retrans, func(i, j int) bool { return t.Retrans[i].Subcause < t.Retrans[j].Subcause })
+	hist := a.hist
 	if hist == nil {
 		hist = stats.NewHistogram(live.DurationBoundsMS)
 	}
 	t.DurationsMS = hist.State()
-	t.IngestBatchSizes = batches.State()
-	return t, nil
+	t.IngestBatchSizes = a.batches.State()
+	return t
+}
+
+func copyCounts(m map[string]uint64) map[string]uint64 {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]uint64, len(m))
+	for k, n := range m {
+		out[k] = n
+	}
+	return out
 }
 
 func boundsEqual(a, b []float64) bool {

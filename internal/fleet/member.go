@@ -286,7 +286,16 @@ func (mb *Member) applyPending() {
 		case SettingSampleOneIn:
 			var n int
 			if n, ok = asInt(v); ok {
-				mb.sampleOneIn.Store(int64(n))
+				// Values the uint32 flow hash cannot spread over are
+				// rejected like malformed ones: a negative N is
+				// meaningless, and anything above 2^32-1 would sample
+				// out essentially everything (or, as a multiple of
+				// 2^32, truncate to a zero modulus).
+				if n < 0 || int64(n) > math.MaxUint32 {
+					ok = false
+				} else {
+					mb.sampleOneIn.Store(int64(n))
+				}
 			}
 		case SettingMaxRecordsPerFlow:
 			var n int
@@ -320,7 +329,7 @@ func (mb *Member) WrapIngestEvent(fn func(trace.RecordEvent) bool) func(trace.Re
 		if mb.pending.Load() != nil {
 			mb.applyPending()
 		}
-		if n := mb.sampleOneIn.Load(); n > 1 && flowHash(ev.FlowID)%uint32(n) != 0 {
+		if n := mb.sampleOneIn.Load(); n > 1 && uint64(flowHash(ev.FlowID))%uint64(n) != 0 {
 			mb.sampledOut.Add(1)
 			return true
 		}
@@ -339,7 +348,7 @@ func (mb *Member) sampleBatch(evs []trace.RecordEvent) []trace.RecordEvent {
 	kept := evs[:0:len(evs)]
 	dropped := uint64(0)
 	for _, ev := range evs {
-		if flowHash(ev.FlowID)%uint32(n) == 0 {
+		if uint64(flowHash(ev.FlowID))%uint64(n) == 0 {
 			kept = append(kept, ev)
 		} else {
 			dropped++

@@ -68,6 +68,17 @@ func (h *Histogram) Cumulative(i int) uint64 {
 	return c
 }
 
+// Clone returns an independent copy of h. The bounds slice is shared
+// (read-only by contract); counts are copied.
+func (h *Histogram) Clone() *Histogram {
+	return &Histogram{
+		bounds: h.bounds,
+		counts: append([]uint64{}, h.counts...),
+		n:      h.n,
+		sum:    h.sum,
+	}
+}
+
 // Merge folds another histogram into h. Both must share bounds
 // (typically both built by the same NewHistogram call site); merging
 // is associative and commutative, so per-shard histograms combine
