@@ -20,6 +20,11 @@
 // head lock, and the p50/p99 of that merge (in ms) comes from the
 // head's own reservoir. CI gates the p99 at 5ms.
 //
+// Members run with stall-event digests at the default size, so both
+// gated numbers include the observability layer's cost end to end —
+// capture in the monitor, shipping on the wire, event-ring ingestion
+// at the head. The stall_events* fields report that traffic.
+//
 // Gates (each exits non-zero when violated):
 //
 //	-min-scale F         aggregate serial-isolation throughput must be
@@ -78,6 +83,15 @@ type result struct {
 	FinalPushes         uint64  `json:"final_pushes"`
 	SnapshotBytes       uint64  `json:"snapshot_bytes"`
 	SnapshotBytesPerSec float64 `json:"snapshot_bytes_per_sec"`
+
+	// Event-digest overhead. Members run with digests at the default
+	// size, so every gated number above already includes the cost of
+	// capturing, shipping, and ingesting stall events; these report how
+	// much event traffic that was.
+	StallEvents        uint64  `json:"stall_events"`
+	StallEventsPerPush float64 `json:"stall_events_per_push"`
+	DigestDropped      uint64  `json:"digest_dropped"`
+	EventsPublished    uint64  `json:"events_published"`
 
 	FleetIngested uint64  `json:"fleet_records_ingested"`
 	ElapsedMS     float64 `json:"elapsed_ms"`
@@ -176,6 +190,10 @@ func main() {
 	res.FinalPushes = st.FinalPushes
 	res.SnapshotBytes = st.SnapshotBytes
 	res.SnapshotBytesPerSec = ratio(float64(st.SnapshotBytes), elapsed.Seconds())
+	res.StallEvents = st.StallEvents
+	res.StallEventsPerPush = ratio(float64(st.StallEvents), float64(st.Pushes))
+	res.DigestDropped = st.DigestDropped
+	res.EventsPublished = st.EventsPublished
 	if tot, err := head.Totals(); err == nil {
 		res.FleetIngested = tot.Ingested
 	}

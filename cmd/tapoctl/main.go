@@ -6,15 +6,20 @@
 //
 // Endpoints:
 //
-//	POST /fleet/register  member registration (epoch assignment)
-//	POST /fleet/push      member snapshot push + heartbeat
-//	GET  /fleet/members   every known member, live and dead
-//	GET  /fleet/stalls    fleet-wide stall totals, cumulative + rolling window
-//	GET  /fleet/services  per-service rollup
-//	GET  /fleet/config    current config downlink
-//	POST /fleet/config    merge settings, bump the config version
-//	GET  /metrics         Prometheus text exposition (tapoctl_*, fleet_*)
-//	GET  /healthz         liveness
+//	POST /fleet/register       member registration (epoch assignment)
+//	POST /fleet/push           member snapshot push + heartbeat
+//	GET  /fleet/members        every known member, live and dead
+//	GET  /fleet/stalls         fleet-wide stall totals, cumulative + rolling window (?service=)
+//	GET  /fleet/services       per-service rollup
+//	GET  /fleet/stats          the head's own protocol accounting
+//	GET  /fleet/timeseries     per-interval delta rings: fleet, services, members (?service=)
+//	GET  /fleet/events         event ring backlog (?since=ID)
+//	GET  /fleet/events/stream  live event stream (SSE)
+//	GET  /fleet/config         current config downlink
+//	POST /fleet/config         merge settings, bump the config version
+//	GET  /dashboard            embedded operator dashboard
+//	GET  /metrics              Prometheus text exposition (tapoctl_*, fleet_*)
+//	GET  /healthz              liveness
 //
 // Config keys understood by members: sample_one_in,
 // max_records_per_flow, triage, flight. Unknown keys are counted and
@@ -23,6 +28,11 @@
 // Usage:
 //
 //	tapoctl [-listen :7077] [-expiry 60s] [-config triage=off,sample_one_in=4]
+//	tapoctl tail [-head localhost:7077] [-since 0]
+//
+// The tail subcommand follows a running head's event stream and
+// prints one line per event — the terminal twin of the dashboard's
+// live feed.
 package main
 
 import (
@@ -41,6 +51,9 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "tail" {
+		os.Exit(tailMain(os.Args[2:]))
+	}
 	listen := flag.String("listen", ":7077", "HTTP listen address for the fleet API and /metrics")
 	expiry := flag.Duration("expiry", fleet.DefaultExpiry, "retire members silent this long")
 	preset := flag.String("config", "", "initial config downlink as k=v pairs, comma-separated (e.g. triage=off,sample_one_in=4)")
@@ -73,6 +86,11 @@ func main() {
 	<-ctx.Done()
 	logger.Info("signal received, shutting down")
 
+	// Retire members that died during the run so the final state log is
+	// honest, then terminate the SSE streams — Shutdown waits for open
+	// requests, and an event stream never finishes on its own.
+	head.Sweep()
+	head.Close()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	srv.Shutdown(shutdownCtx)

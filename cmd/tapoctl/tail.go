@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// tailMain follows a head's SSE event stream and prints one line per
+// event: the terminal twin of the dashboard's live feed. It reconnects
+// with Last-Event-ID on stream loss, so a head restart or a network
+// blip loses liveness, not history still in the ring.
+func tailMain(args []string) int {
+	fs := flag.NewFlagSet("tapoctl tail", flag.ExitOnError)
+	headAddr := fs.String("head", "localhost:7077", "fleet head host:port")
+	since := fs.Uint64("since", 0, "replay retained events after this ID first (0 = all retained)")
+	fs.Parse(args)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	last := *since
+	for attempt := 0; ; attempt++ {
+		err := tailOnce(ctx, *headAddr, &last)
+		if ctx.Err() != nil {
+			return 0
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tapoctl tail: %v (reconnecting)\n", err)
+		}
+		select {
+		case <-ctx.Done():
+			return 0
+		case <-time.After(2 * time.Second):
+		}
+	}
+}
+
+// tailOnce streams one connection's worth of events, advancing *last
+// as events print so a reconnect resumes where this one stopped.
+func tailOnce(ctx context.Context, headAddr string, last *uint64) error {
+	url := fmt.Sprintf("http://%s/fleet/events/stream?since=%d", headAddr, *last)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("head returned %s", resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		data, ok := strings.CutPrefix(line, "data: ")
+		if !ok {
+			continue
+		}
+		var ev tailEvent
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			continue
+		}
+		printEvent(ev)
+		if ev.ID > *last {
+			*last = ev.ID
+		}
+	}
+	return sc.Err()
+}
+
+// tailEvent mirrors fleet.Event; decoding locally keeps the tail loop
+// honest about what it actually reads off the wire.
+type tailEvent struct {
+	ID         uint64  `json:"id"`
+	TimeMS     int64   `json:"time_ms"`
+	Type       string  `json:"type"`
+	Member     string  `json:"member,omitempty"`
+	Service    string  `json:"service,omitempty"`
+	Cause      string  `json:"cause,omitempty"`
+	DurationMS float64 `json:"duration_ms,omitempty"`
+	FlowHash   uint32  `json:"flow_hash,omitempty"`
+	Detail     string  `json:"detail,omitempty"`
+}
+
+func printEvent(ev tailEvent) {
+	when := "--:--:--"
+	if ev.TimeMS != 0 {
+		when = time.UnixMilli(ev.TimeMS).Format("15:04:05")
+	}
+	switch ev.Type {
+	case "stall":
+		fmt.Printf("%s  %-15s %-12s %s %s %.0fms flow=%08x\n",
+			when, ev.Type, ev.Member, ev.Service, ev.Cause, ev.DurationMS, ev.FlowHash)
+	default:
+		sep := ""
+		if ev.Member != "" && ev.Detail != "" {
+			sep = " "
+		}
+		fmt.Printf("%s  %-15s %s%s%s\n", when, ev.Type, ev.Member, sep, ev.Detail)
+	}
+}

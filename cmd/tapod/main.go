@@ -27,7 +27,10 @@
 // registers for an epoch, pushes cumulative snapshots of its stall
 // aggregates every -push-interval, and applies config the head sends
 // back (sampling rate, record caps, triage/flight toggles) between
-// records — so one control plane steers many tapods.
+// records — so one control plane steers many tapods. Each push also
+// carries a bounded digest of recent stall events (-digest, default
+// 256 per push) that feeds the head's live event stream and dashboard;
+// the digest is visibility only and never enters the fleet totals.
 //
 // Self-observability: by default every flow carries a flight recorder
 // (disable with -flight=false), so /debug/flows/{id}/trace serves
@@ -88,6 +91,7 @@ func main() {
 	headURL := flag.String("head", "", "fleet mode: push snapshots to this tapoctl head URL")
 	memberID := flag.String("member-id", "", "with -head: fleet member identity (default: hostname + listen address)")
 	pushInterval := flag.Duration("push-interval", fleet.DefaultPushInterval, "with -head: snapshot push interval")
+	digest := flag.Int("digest", 0, "with -head: stall events digested per push for the head's event stream (0: default 256, -1: disable)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiles under /debug/pprof/")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	flag.Parse()
@@ -108,6 +112,7 @@ func main() {
 		IdleTimeout:       *idle,
 		Window:            *window,
 		RingSize:          *ringSize,
+		DigestSize:        *digest,
 		Analysis:          cfg,
 		OnFlow: func(reason string, a *core.FlowAnalysis) {
 			// LRU displacement means the flow table is too small for

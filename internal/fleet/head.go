@@ -23,6 +23,12 @@ type HeadConfig struct {
 	// Clock overrides time.Now — injected by tests so expiry is
 	// deterministic.
 	Clock func() time.Time
+	// SeriesStep and SeriesBuckets override the time-series ring
+	// geometry (DefaultSeriesStep / DefaultSeriesBuckets) when positive.
+	SeriesStep    time.Duration
+	SeriesBuckets int
+	// EventRing overrides DefaultEventRing when positive.
+	EventRing int
 }
 
 // Head is the fleet control plane: it assigns epochs, ingests member
@@ -60,6 +66,12 @@ type Head struct {
 	mergeLat *stats.Sample
 	// counters is the head's own accounting. guarded by mu
 	counters headCounters
+	// series holds the per-interval delta rings fed by accepted
+	// pushes. guarded by mu
+	series *seriesStore
+	// events is the merged event ring. It has its own mutex, strictly
+	// below mu in lock order (Head methods publish while holding mu).
+	events *eventRing
 }
 
 // headCounters is the head's protocol accounting. Owned by the Head;
@@ -71,6 +83,13 @@ type headCounters struct {
 	pushes        uint64 // accepted
 	finals        uint64
 	rejects       map[string]uint64 // by PushResponse error code
+
+	// stallEvents counts digest events ingested into the event ring;
+	// digestDropped sums the members' own reported digest overflow;
+	// digestTruncated counts events the head cut past MaxDigestEvents.
+	stallEvents     uint64
+	digestDropped   uint64
+	digestTruncated uint64
 }
 
 // memberState is one member's registration record. Single-owner: all
@@ -103,6 +122,8 @@ func NewHead(cfg HeadConfig) *Head {
 		compacted: newAggState(),
 		mergeLat:  stats.NewSample(0),
 		counters:  headCounters{rejects: map[string]uint64{}},
+		series:    newSeriesStore(cfg.SeriesStep, cfg.SeriesBuckets),
+		events:    newEventRing(cfg.EventRing),
 	}
 }
 
@@ -126,10 +147,15 @@ func (h *Head) Register(req RegisterRequest) (RegisterResponse, error) {
 	if ms == nil {
 		ms = &memberState{id: req.MemberID}
 		h.members[req.MemberID] = ms
+		h.publishLocked(Event{Type: EventMemberJoin, Member: req.MemberID})
 	} else {
 		h.retireLocked(ms)
 		ms.restarts++
 		h.counters.restarts++
+		h.publishLocked(Event{
+			Type: EventMemberRestart, Member: req.MemberID,
+			Detail: fmt.Sprintf("epoch %d retired", ms.epoch),
+		})
 	}
 	h.lastEpoch++
 	ms.epoch = h.lastEpoch
@@ -186,6 +212,18 @@ func (h *Head) Push(snap *Snapshot) PushResponse {
 	if err != nil {
 		return h.rejectLocked(ErrBadSnapshot)
 	}
+	// Accepted: difference against the member's previous snapshot of
+	// THIS epoch (nil right after register/retire, so an epoch restart
+	// rebases the delta to zero) and fold into the time-series rings,
+	// then let the new cumulative snapshot replace the old.
+	h.series.fold(now, ms.last, &cp)
+	h.ingestDigestLocked(&cp)
+	if snap.ConfigVersion != ms.configVersion && snap.ConfigVersion > 0 {
+		h.publishLocked(Event{
+			Type: EventConfigApplied, Member: snap.MemberID,
+			Detail: fmt.Sprintf("config v%d", snap.ConfigVersion),
+		})
+	}
 	ms.last = &cp
 	ms.lastSeq = snap.Seq
 	ms.lastSeen = now
@@ -197,6 +235,10 @@ func (h *Head) Push(snap *Snapshot) PushResponse {
 		h.retireLocked(ms)
 		h.counters.finals++
 		h.compactLocked()
+		h.publishLocked(Event{
+			Type: EventMemberFinal, Member: snap.MemberID,
+			Detail: fmt.Sprintf("epoch %d settled", snap.Epoch),
+		})
 	}
 	resp := PushResponse{OK: true}
 	if h.config != nil && h.config.Version > snap.ConfigVersion {
@@ -205,9 +247,17 @@ func (h *Head) Push(snap *Snapshot) PushResponse {
 	return resp
 }
 
-// rejectLocked counts and shapes one push rejection.
+// rejectLocked counts and shapes one push rejection. The first
+// rejection of each code is an event, then every rejectSpikeEvery-th
+// after — a storm surfaces in the stream without flooding it.
 func (h *Head) rejectLocked(code string) PushResponse {
 	h.counters.rejects[code]++
+	if n := h.counters.rejects[code]; n == 1 || n%rejectSpikeEvery == 0 {
+		h.publishLocked(Event{
+			Type:   EventRejectSpike,
+			Detail: fmt.Sprintf("%s x%d", code, n),
+		})
+	}
 	return PushResponse{OK: false, Error: code}
 }
 
@@ -232,6 +282,10 @@ func (h *Head) sweepLocked(now time.Time) {
 			ms.expired = true
 			h.retireLocked(ms)
 			h.counters.expiries++
+			h.publishLocked(Event{
+				Type: EventMemberExpired, Member: ms.id,
+				Detail: fmt.Sprintf("epoch %d silent %.0fs", ms.epoch, now.Sub(ms.lastSeen).Seconds()),
+			})
 			swept = true
 		}
 	}
@@ -436,6 +490,10 @@ func (h *Head) SetConfig(settings map[string]any) uint64 {
 		h.config.Settings[k] = v
 	}
 	h.config.Version++
+	h.publishLocked(Event{
+		Type:   EventConfigSet,
+		Detail: fmt.Sprintf("config v%d (%d settings)", h.config.Version, len(h.config.Settings)),
+	})
 	return h.config.Version
 }
 
@@ -468,6 +526,21 @@ type HeadStats struct {
 	MergeCount    int               `json:"merge_count"`
 	MergeP50MS    float64           `json:"merge_p50_ms"`
 	MergeP99MS    float64           `json:"merge_p99_ms"`
+
+	// Event-stream accounting: digest events ingested from pushes, the
+	// members' own reported digest overflow, head-side truncation past
+	// MaxDigestEvents, total events published (stall + control plane),
+	// ring overwrites, live-delivery misses, and open subscriptions.
+	StallEvents      uint64 `json:"stall_events"`
+	DigestDropped    uint64 `json:"digest_dropped"`
+	DigestTruncated  uint64 `json:"digest_truncated"`
+	EventsPublished  uint64 `json:"events_published"`
+	EventsOverwrote  uint64 `json:"events_overwrote"`
+	EventsLagged     uint64 `json:"events_lagged"`
+	EventSubscribers int    `json:"event_subscribers"`
+	// SeriesDroppedKeys counts time-series folds refused a new keyed
+	// ring by the cardinality bound.
+	SeriesDroppedKeys uint64 `json:"series_dropped_keys"`
 }
 
 // Stats snapshots the head's counters and merge-latency quantiles.
@@ -484,7 +557,13 @@ func (h *Head) Stats() HeadStats {
 		FinalPushes:   h.counters.finals,
 		SnapshotBytes: h.snapBytes.Load(),
 		MergeCount:    h.mergeLat.Len(),
+
+		StallEvents:       h.counters.stallEvents,
+		DigestDropped:     h.counters.digestDropped,
+		DigestTruncated:   h.counters.digestTruncated,
+		SeriesDroppedKeys: h.series.droppedKeys,
 	}
+	st.EventsPublished, st.EventsOverwrote, st.EventsLagged, st.EventSubscribers = h.events.stats()
 	for _, ms := range h.members {
 		if !ms.done {
 			st.LiveMembers++

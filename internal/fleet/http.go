@@ -7,19 +7,28 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"time"
 )
 
 // NewHandler exposes the head's control and observation planes:
 //
-//	POST /fleet/register  member registration → epoch assignment
-//	POST /fleet/push      member snapshot push (doubles as heartbeat)
-//	GET  /fleet/members   every known member, live and dead
-//	GET  /fleet/stalls    fleet-wide stall totals, cumulative + window
-//	GET  /fleet/services  per-service rollup of the same
-//	GET  /fleet/config    the current config downlink
-//	POST /fleet/config    merge settings into the downlink, bump version
-//	GET  /metrics         Prometheus text exposition
-//	GET  /healthz         liveness
+//	POST /fleet/register       member registration → epoch assignment
+//	POST /fleet/push           member snapshot push (doubles as heartbeat)
+//	GET  /fleet/members        every known member, live and dead
+//	GET  /fleet/stalls         fleet-wide stall totals, cumulative + window (?service=)
+//	GET  /fleet/services       per-service rollup of the same
+//	GET  /fleet/stats          the head's own protocol accounting
+//	GET  /fleet/timeseries     per-interval delta rings: fleet, services, members (?service=)
+//	GET  /fleet/events         event ring backlog (?since=ID)
+//	GET  /fleet/events/stream  the same as live SSE (?since= / Last-Event-ID)
+//	GET  /fleet/config         the current config downlink
+//	POST /fleet/config         merge settings into the downlink, bump version
+//	GET  /dashboard            embedded operator dashboard (self-contained HTML)
+//	GET  /metrics              Prometheus text exposition
+//	GET  /healthz              liveness
+//
+// Every response carries Cache-Control: no-store — the head is a live
+// view; a cached copy of any of it is wrong by definition.
 func NewHandler(h *Head) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /fleet/register", func(w http.ResponseWriter, r *http.Request) {
@@ -65,7 +74,18 @@ func NewHandler(h *Head) http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		writeJSON(w, map[string]any{"totals": totals, "window": h.Window()})
+		win := h.Window()
+		if svc := r.URL.Query().Get("service"); svc != "" {
+			cum := filterStalls(totals.Stalls, svc)
+			wst := filterStalls(win.Stalls, svc)
+			if len(cum) == 0 && len(wst) == 0 {
+				http.Error(w, fmt.Sprintf("unknown service %q", svc), http.StatusBadRequest)
+				return
+			}
+			writeJSON(w, map[string]any{"service": svc, "stalls": cum, "window_stalls": wst})
+			return
+		}
+		writeJSON(w, map[string]any{"totals": totals, "window": win})
 	})
 	mux.HandleFunc("GET /fleet/services", func(w http.ResponseWriter, r *http.Request) {
 		totals, err := h.Totals()
@@ -98,6 +118,28 @@ func NewHandler(h *Head) http.Handler {
 		v := h.SetConfig(req.Settings)
 		writeJSON(w, map[string]any{"version": v})
 	})
+	mux.HandleFunc("GET /fleet/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, h.Stats())
+	})
+	mux.HandleFunc("GET /fleet/timeseries", func(w http.ResponseWriter, r *http.Request) {
+		svc := r.URL.Query().Get("service")
+		resp, ok := h.TimeSeries(svc)
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown service %q", svc), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("GET /fleet/events", func(w http.ResponseWriter, r *http.Request) {
+		since, ok := sinceParam(w, r)
+		if !ok {
+			return
+		}
+		writeJSON(w, h.Events(since))
+	})
+	mux.HandleFunc("GET /fleet/events/stream", func(w http.ResponseWriter, r *http.Request) {
+		serveEventStream(h, w, r)
+	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		totals, err := h.Totals()
 		if err != nil {
@@ -105,12 +147,114 @@ func NewHandler(h *Head) http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Header().Set("Cache-Control", "no-store")
 		writeMetrics(w, h.Stats(), totals, h.Window())
 	})
+	mux.HandleFunc("GET /dashboard", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Header().Set("Cache-Control", "no-store")
+		w.Write(dashboardHTML)
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Header().Set("Cache-Control", "no-store")
 		fmt.Fprintln(w, "ok")
 	})
 	return mux
+}
+
+// filterStalls keeps the cells of one service.
+func filterStalls(cells []StallCounter, svc string) []StallCounter {
+	var out []StallCounter
+	for _, sc := range cells {
+		if sc.Service == svc {
+			out = append(out, sc)
+		}
+	}
+	return out
+}
+
+// sinceParam parses ?since= (an event ID; Last-Event-ID wins when an
+// SSE client reconnects with it). Absent means 0 — everything
+// retained. A non-numeric value 400s, mirroring the ?n= guard on the
+// tapod endpoints.
+func sinceParam(w http.ResponseWriter, r *http.Request) (uint64, bool) {
+	raw := r.Header.Get("Last-Event-ID")
+	if raw == "" {
+		raw = r.URL.Query().Get("since")
+	}
+	if raw == "" {
+		return 0, true
+	}
+	since, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad since=%q: %v", raw, err), http.StatusBadRequest)
+		return 0, false
+	}
+	return since, true
+}
+
+// sseKeepalive is how often an idle stream writes an SSE comment so
+// intermediaries do not reap the connection.
+const sseKeepalive = 15 * time.Second
+
+// serveEventStream is the SSE side of the event ring: backlog first,
+// then live events as they publish, until the client hangs up or the
+// head closes. Writes id: lines so a dropped client reconnects with
+// Last-Event-ID and misses nothing still retained.
+func serveEventStream(h *Head, w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	since, ok := sinceParam(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	// Flush the headers now: with an empty backlog nothing else would,
+	// and the client's request blocks until they arrive.
+	fl.Flush()
+	backlog, ch, cancel := h.events.subscribe(since)
+	defer cancel()
+	write := func(ev Event) bool {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "id: %d\ndata: %s\n\n", ev.ID, b); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	for _, ev := range backlog {
+		if !write(ev) {
+			return
+		}
+	}
+	ka := time.NewTicker(sseKeepalive)
+	defer ka.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-h.events.closed:
+			return
+		case <-ka.C:
+			if _, err := io.WriteString(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case ev := <-ch:
+			if !write(ev) {
+				return
+			}
+		}
+	}
 }
 
 // maxSnapshotBytes bounds a push body. A snapshot is a few KiB of
@@ -175,7 +319,8 @@ func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-store")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(v)

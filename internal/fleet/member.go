@@ -78,6 +78,15 @@ type Member struct {
 	// starts from zero and the head never double-counts state the old
 	// epoch already retired. Nil for the first epoch. guarded by mu
 	base *Snapshot
+	// digest accumulates stall events drained from the monitor but not
+	// yet delivered by an accepted push — a failed push keeps them, so
+	// transient head trouble loses no events; the next accepted push
+	// (under its fresh seq) carries them exactly once. Bounded at
+	// MaxDigestEvents. guarded by mu
+	digest []StallEvent
+	// digestDropped counts events past the digest bound since the last
+	// delivered push. guarded by mu
+	digestDropped uint64
 }
 
 // NewMember builds a Member. It does not contact the head until
@@ -188,6 +197,9 @@ func (mb *Member) pushLocked(ctx context.Context, final, mayReregister bool) err
 		return fmt.Errorf("fleet: push rejected: %s", resp.Error)
 	}
 	mb.bytesPushed.Add(uint64(len(body)))
+	// The head has the digest now; start the next interval empty.
+	mb.digest = nil
+	mb.digestDropped = 0
 	if resp.Config != nil {
 		mb.pending.Store(resp.Config)
 	}
@@ -211,7 +223,32 @@ func (mb *Member) snapshotLocked() Snapshot {
 	mb.batchMu.Lock()
 	snap.IngestBatchSizes = mb.batches.State()
 	mb.batchMu.Unlock()
+	mb.drainDigestLocked()
+	snap.Events = mb.digest
+	snap.EventsDropped = mb.digestDropped
 	return snap
+}
+
+// drainDigestLocked moves the monitor's digested stall closes into
+// the member's pending event buffer, keeping the first
+// MaxDigestEvents and counting the rest — the same first-K sampling
+// bound the monitor applies per drain interval.
+func (mb *Member) drainDigestLocked() {
+	evs, dropped := mb.mon.DrainStallDigest()
+	mb.digestDropped += dropped
+	for _, e := range evs {
+		if len(mb.digest) >= MaxDigestEvents {
+			mb.digestDropped++
+			continue
+		}
+		mb.digest = append(mb.digest, StallEvent{
+			TimeMS:     e.At.UnixMilli(),
+			Service:    e.Stall.Service,
+			Cause:      e.Stall.Stall.Cause.String(),
+			DurationMS: float64(e.Stall.Stall.Duration) / float64(time.Millisecond),
+			FlowHash:   flowHash(e.Stall.FlowID),
+		})
+	}
 }
 
 // Snapshot builds (without pushing) the snapshot the next push would

@@ -92,6 +92,32 @@ type Snapshot struct {
 	// recent by definition.
 	WindowSpanS  float64        `json:"window_span_s"`
 	WindowStalls []StallCounter `json:"window_stalls,omitempty"`
+
+	// Events is the bounded, sampled digest of stall events closed
+	// since the previous push — at most MaxDigestEvents, first-K
+	// sampled, with the overflow counted in EventsDropped. Events feed
+	// the head's live event stream only; they never enter Totals (the
+	// stall cells above carry the exact counts), so a dropped event is
+	// lost visibility, never lost accounting.
+	Events        []StallEvent `json:"events,omitempty"`
+	EventsDropped uint64       `json:"events_dropped,omitempty"`
+}
+
+// MaxDigestEvents bounds the stall-event digest attached to one push,
+// on both sides of the wire: members never send more, and the head
+// truncates (and counts) anything past it.
+const MaxDigestEvents = 256
+
+// StallEvent is one digested stall close, as pushed to the head's
+// event stream. FlowHash is the FNV-1a hash of the flow ID — enough
+// to correlate a flow's stalls across events without shipping the
+// (potentially identifying, unbounded-cardinality) ID itself.
+type StallEvent struct {
+	TimeMS     int64   `json:"time_ms"`
+	Service    string  `json:"service,omitempty"`
+	Cause      string  `json:"cause"`
+	DurationMS float64 `json:"duration_ms"`
+	FlowHash   uint32  `json:"flow_hash"`
 }
 
 // StallCounter is one (service, cause) stall cell.

@@ -19,3 +19,13 @@ func TestJsontags(t *testing.T) {
 func TestJsontagsFleetWire(t *testing.T) {
 	linttest.Run(t, lint.Jsontags, "testdata/jsontags/fleetwire", "tcpstall/internal/fleet/fleetwire")
 }
+
+// TestJsontagsObsWire covers the observability wire types layered on
+// the fleet protocol — the stall-event digest, the head's merged event
+// stream, and the time-series payloads — with the drift a growing
+// event schema collects (untagged hash field, camelCase tag from a JS
+// client, duplicate key after a rename, cursor hidden on an unexported
+// field), plus the clean series shapes as false-positive guards.
+func TestJsontagsObsWire(t *testing.T) {
+	linttest.Run(t, lint.Jsontags, "testdata/jsontags/obswire", "tcpstall/internal/fleet/obswire")
+}

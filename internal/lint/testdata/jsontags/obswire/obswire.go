@@ -1,0 +1,67 @@
+// Package obswire seeds jsontags violations shaped like the
+// observability wire types in internal/fleet — the stall-event digest
+// (wire.go), the event stream (events.go), and the time-series layer
+// (series.go). The drift modes are the ones a growing event schema
+// actually collects: a field added without a tag, a camelCased tag
+// copied from a JS client, a duplicate key from a rename that kept the
+// old tag, and wire state on an unexported field. The clean structs
+// are false-positive guards: the real observability shapes must keep
+// linting clean.
+package obswire
+
+// StallEvent mirrors the digest entry members attach to pushes.
+type StallEvent struct {
+	TimeMS     int64   `json:"time_ms"`
+	Service    string  `json:"service,omitempty"`
+	Cause      string  `json:"cause"`
+	DurationMS float64 `json:"durationMs"` // want `not snake_case`
+	FlowHash   uint32  // want `lacks a json tag`
+}
+
+// Event mirrors the head's merged stream entry.
+type Event struct {
+	ID     uint64 `json:"id"`
+	TimeMS int64  `json:"time_ms"`
+	Type   string `json:"type"`
+	Member string `json:"member,omitempty"`
+	Detail string `json:"type"` // want `duplicates field Type`
+}
+
+// EventsResponse drifts by hiding the cursor on an unexported field.
+type EventsResponse struct {
+	Events  []Event `json:"events"`
+	Next    uint64  `json:"next"`
+	Dropped uint64  `json:"dropped,omitempty"`
+	cursor  uint64  `json:"cursor"` // want `json tag on unexported field`
+}
+
+// SeriesPoint is clean — a false-positive guard for omitempty-heavy
+// numeric shapes.
+type SeriesPoint struct {
+	TimeMS       int64             `json:"time_ms"`
+	Pushes       uint64            `json:"pushes"`
+	Stalls       uint64            `json:"stalls"`
+	StallSeconds float64           `json:"stall_seconds"`
+	Causes       map[string]uint64 `json:"causes,omitempty"`
+	DurP50MS     float64           `json:"dur_p50_ms,omitempty"`
+	DurP99MS     float64           `json:"dur_p99_ms,omitempty"`
+}
+
+// SeriesResponse is clean — map-of-slices values stay guarded.
+type SeriesResponse struct {
+	StepS    float64                  `json:"step_s"`
+	Buckets  int                      `json:"buckets"`
+	Fleet    []SeriesPoint            `json:"fleet,omitempty"`
+	Services map[string][]SeriesPoint `json:"services,omitempty"`
+}
+
+// seriesBucket never serializes: untagged accumulator structs stay
+// out of scope even when their shape matches a wire struct.
+type seriesBucket struct {
+	epoch  int64
+	stalls uint64
+}
+
+func use(b seriesBucket) int64 { return b.epoch + int64(b.stalls) }
+
+var _ = use(seriesBucket{})

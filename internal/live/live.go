@@ -71,6 +71,12 @@ type Config struct {
 	// RecentStalls bounds the admin plane's recent-stall ring
 	// (default 256).
 	RecentStalls int
+	// DigestSize bounds the stall digest — the drain-and-reset event
+	// buffer a fleet member attaches to each snapshot push (default
+	// 256; negative disables). The digest keeps the FIRST DigestSize
+	// stall closes between drains and counts the overflow, so a stall
+	// storm bounds push size instead of growing it.
+	DigestSize int
 	// Analysis parameterizes the per-flow analyzer (zero value:
 	// core.DefaultConfig).
 	Analysis core.Config
@@ -130,6 +136,9 @@ func (c *Config) defaults() {
 	if c.RecentStalls <= 0 {
 		c.RecentStalls = 256
 	}
+	if c.DigestSize == 0 {
+		c.DigestSize = 256
+	}
 	if c.Clock == nil {
 		c.Clock = time.Now
 	}
@@ -185,6 +194,7 @@ type Monitor struct {
 	batchFree batchFreeList
 
 	recent stallRing
+	digest stallDigest
 }
 
 // batchFreeList is a mutex-guarded stack of event buffers shared by
@@ -229,6 +239,9 @@ func New(cfg Config) *Monitor {
 	m.dynTriage.Store(cfg.Triage != nil)
 	m.dynFlight.Store(cfg.Flight != nil)
 	m.recent.buf = make([]core.LiveStall, cfg.RecentStalls)
+	if cfg.DigestSize > 0 {
+		m.digest.cap = cfg.DigestSize
+	}
 	perShard := cfg.MaxFlows / cfg.Shards
 	if perShard < 1 {
 		perShard = 1
@@ -845,8 +858,10 @@ func observeTeardown(e *flowEntry, ev *trace.RecordEvent) bool {
 // stallClosedLocked runs synchronously inside Feed; the caller (the
 // shard goroutine, via process) holds sh.mu.
 func (sh *shard) stallClosedLocked(ls core.LiveStall) {
-	sh.agg.stallClosed(sh.m.cfg.Clock(), ls)
+	now := sh.m.cfg.Clock()
+	sh.agg.stallClosed(now, ls)
 	sh.m.recent.push(ls)
+	sh.m.digest.push(now, ls)
 	if sh.m.cfg.OnStall != nil {
 		sh.m.cfg.OnStall(ls)
 	}
@@ -997,6 +1012,58 @@ func (r *stallRing) list() []core.LiveStall {
 
 // RecentStalls returns the most recent closed stalls, oldest first.
 func (m *Monitor) RecentStalls() []core.LiveStall { return m.recent.list() }
+
+// DigestedStall is one stall close retained by the stall digest: the
+// live event plus the wall-clock time it closed at.
+type DigestedStall struct {
+	At    time.Time
+	Stall core.LiveStall
+}
+
+// stallDigest is the drain-and-reset event buffer behind
+// DrainStallDigest. Unlike stallRing (which rotates, keeping the
+// newest), the digest keeps the FIRST cap events of each drain
+// interval and counts the rest — a deterministic sampling bound, so
+// one stall storm cannot grow a fleet push without bound while the
+// overflow still surfaces as a count.
+type stallDigest struct {
+	// cap bounds retained events per drain interval; 0 disables.
+	cap int
+
+	mu sync.Mutex
+	// buf holds the retained events, oldest first. guarded by mu
+	buf []DigestedStall
+	// dropped counts events past cap since the last drain. guarded by mu
+	dropped uint64
+}
+
+func (d *stallDigest) push(now time.Time, ls core.LiveStall) {
+	if d.cap <= 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.buf) >= d.cap {
+		d.dropped++
+		return
+	}
+	d.buf = append(d.buf, DigestedStall{At: now, Stall: ls})
+}
+
+// DrainStallDigest returns the stall events digested since the last
+// drain (oldest first) plus the count dropped past the digest bound,
+// and resets both. Fleet members call this once per push; with the
+// digest disabled it returns nothing.
+func (m *Monitor) DrainStallDigest() ([]DigestedStall, uint64) {
+	d := &m.digest
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := d.buf
+	dropped := d.dropped
+	d.buf = nil
+	d.dropped = 0
+	return out, dropped
+}
 
 // Snapshot is a point-in-time view of the monitor's counters.
 type Snapshot struct {
