@@ -41,6 +41,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -345,7 +346,14 @@ func serveHead(head *fleet.Head) (*http.Server, string, error) {
 		return nil, "", err
 	}
 	srv := &http.Server{Handler: fleet.NewHandler(head)}
-	go srv.Serve(ln)
+	go func() {
+		// Serve returns ErrServerClosed once main's deferred srv.Close
+		// fires; anything else means the bench lost its head mid-run,
+		// which otherwise surfaces only as every member timing out.
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			slog.Error("head server failed", "err", err)
+		}
+	}()
 	return srv, "http://" + ln.Addr().String(), nil
 }
 

@@ -71,6 +71,7 @@ type eventRing struct {
 	// buf is the ring storage; ID i (when still retained) lives at
 	// (i-1)%cap. guarded by mu
 	buf []Event
+	// cap is the fixed ring capacity; immutable after construction.
 	cap int
 	// nextID is the next ID to assign, starting at 1. guarded by mu
 	nextID uint64
@@ -82,8 +83,12 @@ type eventRing struct {
 	// guarded by mu
 	lagged uint64
 
+	// closeOnce makes Close idempotent; it is the only writer that
+	// ever closes the closed channel.
 	closeOnce sync.Once
-	// closed broadcasts head shutdown to every stream.
+	// closed broadcasts head shutdown to every stream. The channel
+	// reference is immutable after construction; closing it goes
+	// through closeOnce, so no mutex is involved.
 	closed chan struct{}
 }
 

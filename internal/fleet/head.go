@@ -92,8 +92,9 @@ type headCounters struct {
 	digestTruncated uint64
 }
 
-// memberState is one member's registration record. Single-owner: all
-// fields are accessed only by Head methods holding the Head mutex.
+// memberState is one member's registration record. Single-owner:
+// every field is guarded by Head.mu — memberState pointers never
+// escape the Head methods that look them up under the lock.
 type memberState struct {
 	id            string
 	epoch         uint64

@@ -39,14 +39,19 @@ const (
 // seriesStore holds every ring. Single-owner: all methods are called
 // by Head methods holding the Head mutex.
 type seriesStore struct {
+	// step and size are fixed at construction; immutable thereafter.
 	step time.Duration
 	size int
 
-	fleet    *seriesRing
+	// fleet is the whole-fleet ring. guarded by Head.mu
+	fleet *seriesRing
+	// services and members are the keyed ring families, bounded at
+	// maxSeriesKeys each. guarded by Head.mu
 	services map[string]*seriesRing
 	members  map[string]*seriesRing
 	// droppedKeys counts folds that wanted a new keyed ring past
 	// maxSeriesKeys (their deltas still reach the fleet ring).
+	// guarded by Head.mu
 	droppedKeys uint64
 }
 

@@ -1,0 +1,339 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Goexit demands a provable termination path for every goroutine
+// launch. A `go` statement passes when its body — a function literal,
+// or the body of a statically-resolved function anywhere in the
+// loaded program — contains no unbounded loop, or when every
+// unbounded loop it does contain has a visible exit:
+//
+//   - a select (or direct receive) on a done-like channel: the
+//     result of ctx.Done() for any context.Context, or a channel
+//     field/variable that some function in the program close()s —
+//     which is how ownership by a type whose Close is wired into
+//     tapod/tapoctl shutdown is proven (the shard loop exits because
+//     Monitor.Close closes shard.in);
+//   - a top-level conditional return/break — the bounded
+//     worker-counter idiom (`for { i := next.Add(1); if i >= n
+//     { return } … }`);
+//   - a loop condition at all: `for cond {}` and three-clause loops
+//     are presumed bounded (`for {}` and `for true {}` are not), and
+//     `for range` over a non-channel is finite by construction. A
+//     range over a channel needs a proven close like any receive.
+//
+// A `go` whose target cannot be resolved to a body in the loaded
+// program (an external function, a method value through an
+// interface) is flagged: tapolint cannot prove it terminates, so
+// either wrap it in a literal that ties it to shutdown or record the
+// external lifecycle with lint:allow. The analysis is one level deep
+// by design — the goroutine's own body — so a launch that hides its
+// loop behind a helper call names that helper instead (the helper's
+// body is what gets analyzed when it resolves).
+var Goexit = &Analyzer{
+	Name:       "goexit",
+	Doc:        "every goroutine launch must have a provable termination path",
+	RunProgram: runGoexit,
+}
+
+// goexitIndex is the whole-program context a single launch is judged
+// against: which channels are provably closed, and where function
+// bodies live.
+type goexitIndex struct {
+	closedKeys map[string]bool        // structural field / package-var keys with a close()
+	closedObjs map[types.Object]bool  // local/param channel objects with a close()
+	bodies     map[string]*goexitBody // types.Func FullName → body
+}
+
+type goexitBody struct {
+	pkg  *Package
+	body *ast.BlockStmt
+}
+
+func runGoexit(pp *ProgramPass) error {
+	idx := &goexitIndex{
+		closedKeys: map[string]bool{},
+		closedObjs: map[types.Object]bool{},
+		bodies:     map[string]*goexitBody{},
+	}
+	for _, pkg := range pp.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, _ := pkg.Info.Defs[fd.Name].(*types.Func); fn != nil {
+					idx.bodies[fn.FullName()] = &goexitBody{pkg: pkg, body: fd.Body}
+				}
+			}
+		}
+		pkg := pkg
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok || len(call.Args) != 1 {
+					return true
+				}
+				if b, _ := pkg.Info.Uses[id].(*types.Builtin); b == nil || b.Name() != "close" {
+					return true
+				}
+				idx.recordClose(pkg, call.Args[0])
+				return true
+			})
+		}
+	}
+
+	for _, pkg := range pp.Pkgs {
+		pkg := pkg
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				checkGoStmt(pp, idx, pkg, gs)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// recordClose indexes one close(x) call under every name the channel
+// can later be matched by.
+func (idx *goexitIndex) recordClose(pkg *Package, arg ast.Expr) {
+	switch x := ast.Unparen(arg).(type) {
+	case *ast.SelectorExpr:
+		if obj := pkg.Info.Uses[x.Sel]; obj != nil {
+			idx.closedObjs[obj] = true
+		}
+		if named := namedOf(typeOf(pkg.Info, x.X)); named != nil {
+			idx.closedKeys[fieldLockKey(named, x.Sel.Name)] = true
+		}
+	case *ast.Ident:
+		obj := identObj(pkg.Info, x)
+		if obj == nil {
+			return
+		}
+		idx.closedObjs[obj] = true
+		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			idx.closedKeys[obj.Pkg().Path()+"."+obj.Name()] = true
+		}
+	}
+}
+
+// checkGoStmt resolves one launch to a body and judges it.
+func checkGoStmt(pp *ProgramPass, idx *goexitIndex, pkg *Package, gs *ast.GoStmt) {
+	var body *ast.BlockStmt
+	bodyPkg := pkg
+	target := "goroutine"
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		body = lit.Body
+	} else if fn := funcObjOf(pkg.Info, gs.Call); fn != nil {
+		target = fn.Name()
+		if b := idx.bodies[fn.FullName()]; b != nil {
+			body, bodyPkg = b.body, b.pkg
+		} else {
+			pp.Reportf(pkg, gs.Pos(),
+				"go %s launches a function with no body in the analyzed program; tapolint cannot prove it terminates — tie it to shutdown in a literal or justify with lint:allow",
+				fn.Name())
+			return
+		}
+	} else {
+		pp.Reportf(pkg, gs.Pos(),
+			"goroutine target is not statically resolvable; tapolint cannot prove it terminates — name the function directly or justify with lint:allow")
+		return
+	}
+	if loop, msg := firstUnprovenLoop(idx, bodyPkg, body); msg != "" {
+		line := bodyPkg.Fset.Position(loop.Pos()).Line
+		pp.Reportf(pkg, gs.Pos(),
+			"%s has no provable termination path: %s (line %d); select on a done/ctx channel, bound the loop, or justify with lint:allow",
+			target, msg, line)
+	}
+}
+
+// firstUnprovenLoop scans a goroutine body (not descending into
+// nested function literals, which run on other goroutines or not at
+// all) for the first loop whose termination cannot be shown.
+func firstUnprovenLoop(idx *goexitIndex, pkg *Package, body *ast.BlockStmt) (ast.Node, string) {
+	var badNode ast.Node
+	var badMsg string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if badMsg != "" {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if !forIsInfinite(pkg, x) {
+				return true
+			}
+			if loopHasExit(idx, pkg, x.Body) {
+				return true
+			}
+			badNode, badMsg = x, "unbounded for-loop with no done/ctx select or conditional exit"
+			return false
+		case *ast.RangeStmt:
+			t := typeOf(pkg.Info, x.X)
+			if t == nil {
+				return true
+			}
+			if _, isChan := t.Underlying().(*types.Chan); !isChan {
+				return true
+			}
+			if doneLike(idx, pkg, x.X) {
+				return true
+			}
+			badNode, badMsg = x, "range over a channel no one provably close()s"
+			return false
+		}
+		return true
+	})
+	return badNode, badMsg
+}
+
+// forIsInfinite reports whether the loop can only exit through its
+// body: `for {}` or `for true {}`. Any real condition or three-clause
+// header is presumed bounded — that is the analyzer's documented
+// optimism; the pessimism lives in the headerless case.
+func forIsInfinite(pkg *Package, f *ast.ForStmt) bool {
+	if f.Cond == nil {
+		return true
+	}
+	if tv, ok := pkg.Info.Types[f.Cond]; ok && tv.Value != nil {
+		return tv.Value.String() == "true"
+	}
+	return false
+}
+
+// loopHasExit accepts either exit idiom: a top-level if that
+// returns/breaks (bounded-counter workers), or a select/receive with
+// a done-like channel anywhere in the loop body.
+func loopHasExit(idx *goexitIndex, pkg *Package, body *ast.BlockStmt) bool {
+	for _, stmt := range body.List {
+		if ifStmt, ok := stmt.(*ast.IfStmt); ok && subtreeEscapes(ifStmt) {
+			return true
+		}
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			for _, clause := range x.Body.List {
+				cc, ok := clause.(*ast.CommClause)
+				if !ok || cc.Comm == nil {
+					continue
+				}
+				if ch := recvChannel(cc.Comm); ch != nil && doneLike(idx, pkg, ch) {
+					found = true
+					return false
+				}
+			}
+		case *ast.UnaryExpr:
+			// A bare blocking receive from a done-like channel.
+			if x.Op.String() == "<-" && doneLike(idx, pkg, x.X) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// subtreeEscapes reports whether a statement subtree contains a
+// return or break (ignoring nested function literals and loops,
+// whose breaks do not exit the loop under test).
+func subtreeEscapes(root ast.Stmt) bool {
+	esc := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt:
+			return false
+		case *ast.ReturnStmt:
+			esc = true
+			return false
+		case *ast.BranchStmt:
+			if x.Tok.String() == "break" || x.Tok.String() == "goto" {
+				esc = true
+				return false
+			}
+		}
+		return !esc
+	})
+	return esc
+}
+
+// recvChannel extracts the channel expression of a comm clause's
+// receive, if the clause is a receive.
+func recvChannel(comm ast.Stmt) ast.Expr {
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		if u, ok := ast.Unparen(s.X).(*ast.UnaryExpr); ok && u.Op.String() == "<-" {
+			return u.X
+		}
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			if u, ok := ast.Unparen(s.Rhs[0]).(*ast.UnaryExpr); ok && u.Op.String() == "<-" {
+				return u.X
+			}
+		}
+	}
+	return nil
+}
+
+// doneLike reports whether a channel expression is a termination
+// signal: ctx.Done() for any context, or a channel some function in
+// the program provably close()s.
+func doneLike(idx *goexitIndex, pkg *Package, ch ast.Expr) bool {
+	switch x := ast.Unparen(ch).(type) {
+	case *ast.CallExpr:
+		sel, ok := x.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Done" {
+			return false
+		}
+		return isContextType(typeOf(pkg.Info, sel.X))
+	case *ast.SelectorExpr:
+		if obj := pkg.Info.Uses[x.Sel]; obj != nil && idx.closedObjs[obj] {
+			return true
+		}
+		if named := namedOf(typeOf(pkg.Info, x.X)); named != nil {
+			return idx.closedKeys[fieldLockKey(named, x.Sel.Name)]
+		}
+	case *ast.Ident:
+		obj := identObj(pkg.Info, x)
+		if obj == nil {
+			return false
+		}
+		if idx.closedObjs[obj] {
+			return true
+		}
+		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return idx.closedKeys[obj.Pkg().Path()+"."+obj.Name()]
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return strings.TrimPrefix(types.TypeString(t, nil), "*") == "context.Context"
+}

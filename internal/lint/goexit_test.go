@@ -1,0 +1,17 @@
+package lint_test
+
+import (
+	"testing"
+
+	"tcpstall/internal/lint"
+	"tcpstall/internal/lint/linttest"
+)
+
+// TestGoexit seeds the goroutine-leak shapes (headerless loops with
+// no signal, the SSE-keepalive ticker loop, a range over a channel
+// nobody closes, unresolvable launches) against the sanctioned
+// long-lived idioms: ctx.Done selects, bounded-counter workers,
+// channels closed by an owning Close, and plain bounded loops.
+func TestGoexit(t *testing.T) {
+	linttest.Run(t, lint.Goexit, "testdata/goexit/gx", "tcpstall/internal/live/gx")
+}

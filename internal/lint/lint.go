@@ -13,11 +13,15 @@ import (
 
 // Analyzer is one named invariant check. Run reports findings through
 // the Pass; returning an error aborts the whole lint run (reserved
-// for internal failures, not findings).
+// for internal failures, not findings). An analyzer sets exactly one
+// of Run (invoked once per package) or RunProgram (invoked once with
+// every loaded package — for cross-package properties like lock-order
+// cycles that no single compilation unit can see).
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass) error
+	Name       string
+	Doc        string
+	Run        func(*Pass) error
+	RunProgram func(*ProgramPass) error
 }
 
 // Pass carries one package through one analyzer.
@@ -58,8 +62,40 @@ func (p *Pass) Preorder(fn func(ast.Node) bool) {
 	}
 }
 
+// ProgramPass carries the whole loaded program through one
+// whole-program analyzer.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records one finding at pos, resolved through pkg's fileset.
+func (p *ProgramPass) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportAt records one finding at an already-resolved position — for
+// findings anchored outside Go source, like a stale metric row in
+// README.md.
+func (p *ProgramPass) ReportAt(pos token.Position, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // Analyzers is the full tapolint suite in reporting order.
-var Analyzers = []*Analyzer{Seqsafe, Detclock, Lockcheck, Evpurity, Jsontags, Hotalloc}
+var Analyzers = []*Analyzer{
+	Seqsafe, Detclock, Lockcheck, Evpurity, Jsontags, Hotalloc,
+	Lockorder, Goexit, Wirefreeze, Metricsreg,
+}
 
 // ByName returns the named analyzer, or nil.
 func ByName(name string) *Analyzer {
@@ -108,10 +144,22 @@ func collectAllows(fset *token.FileSet, files []*ast.File) map[string][]allowDir
 // with a reason suppress matching findings on their own line or the
 // line below; a reasonless directive is reported as a finding itself.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var perPkg, program []*Analyzer
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			program = append(program, a)
+		} else {
+			perPkg = append(perPkg, a)
+		}
+	}
+	// Allow directives merge across packages (keys carry the filename)
+	// so whole-program findings can be suppressed at their source line
+	// exactly like per-package ones.
+	merged := map[string][]allowDirective{}
 	var all []Diagnostic
 	for _, pkg := range pkgs {
 		var diags []Diagnostic
-		for _, a := range analyzers {
+		for _, a := range perPkg {
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,
@@ -125,6 +173,9 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			}
 		}
 		allows := collectAllows(pkg.Fset, pkg.Files)
+		for key, ds := range allows {
+			merged[key] = append(merged[key], ds...)
+		}
 		for _, d := range diags {
 			if suppressed(allows, d) {
 				continue
@@ -144,6 +195,19 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				}
 			}
 		}
+	}
+	var progDiags []Diagnostic
+	for _, a := range program {
+		pp := &ProgramPass{Analyzer: a, Pkgs: pkgs, diags: &progDiags}
+		if err := a.RunProgram(pp); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	for _, d := range progDiags {
+		if suppressed(merged, d) {
+			continue
+		}
+		all = append(all, d)
 	}
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i], all[j]
@@ -173,6 +237,35 @@ func suppressed(allows map[string][]allowDirective, d Diagnostic) bool {
 		}
 	}
 	return false
+}
+
+// Allow is one //lint:allow directive, surfaced by the -allows audit.
+type Allow struct {
+	Pos      token.Position
+	Analyzer string
+	Reason   string
+}
+
+// Allows lists every //lint:allow directive in the packages, sorted
+// by position. Reasonless directives come back with Reason == "" so
+// the caller can fail the audit on them.
+func Allows(pkgs []*Package) []Allow {
+	var out []Allow
+	for _, pkg := range pkgs {
+		for _, ds := range collectAllows(pkg.Fset, pkg.Files) {
+			for _, d := range ds {
+				out = append(out, Allow{Pos: d.pos, Analyzer: d.analyzer, Reason: d.reason})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return out
 }
 
 // --- shared type/path helpers used by the analyzers ---

@@ -9,6 +9,13 @@
 // finding on that line; findings with no matching want, and wants
 // with no matching finding, fail the test. Lines without a want
 // comment are false-positive guards: any finding there fails too.
+//
+// Whole-program analyzers can anchor findings outside Go source
+// (metricsreg flags stale rows in README.md). Those are expected
+// with the file-suffix form, which matches one finding in any file
+// whose name ends with the suffix, on any line:
+//
+//	// want@docs.md `docs mention metric family`
 package linttest
 
 import (
@@ -27,36 +34,68 @@ var wantRe = regexp.MustCompile("`([^`]*)`")
 // analyzer's findings against the package's want comments.
 func Run(t *testing.T, a *lint.Analyzer, dir, asPath string) {
 	t.Helper()
+	problems, err := Check(a, dir, asPath)
+	if err != nil {
+		t.Fatalf("%s on %s: %v", a.Name, dir, err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+// Check is the harness core, split from Run so its own error paths
+// are testable: a fatal error (unloadable testdata, malformed want
+// comment) comes back as err, expectation mismatches as problems.
+func Check(a *lint.Analyzer, dir, asPath string) (problems []string, err error) {
 	pkg, err := lint.LoadDir(dir, asPath)
 	if err != nil {
-		t.Fatalf("loading %s: %v", dir, err)
+		return nil, fmt.Errorf("loading testdata: %w", err)
 	}
 	diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
 	if err != nil {
-		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+		return nil, fmt.Errorf("running analyzer: %w", err)
 	}
 
 	type want struct {
-		re   *regexp.Regexp
-		line int
-		file string
-		hit  bool
+		re     *regexp.Regexp
+		line   int
+		file   string // exact filename, or "" for suffix form
+		suffix string
+		hit    bool
 	}
 	var wants []*want
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-				if !strings.HasPrefix(text, "want ") {
+				var suffix string
+				switch {
+				case strings.HasPrefix(text, "want "):
+				case strings.HasPrefix(text, "want@"):
+					rest := strings.TrimPrefix(text, "want@")
+					i := strings.IndexAny(rest, " \t")
+					if i < 0 {
+						return nil, fmt.Errorf("%s: want@ comment needs a file suffix and a `regexp`", pkg.Fset.Position(c.Pos()))
+					}
+					suffix = rest[:i]
+				default:
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				for _, m := range wantRe.FindAllStringSubmatch(text, -1) {
+				ms := wantRe.FindAllStringSubmatch(text, -1)
+				if len(ms) == 0 {
+					return nil, fmt.Errorf("%s: want comment carries no `regexp`", pos)
+				}
+				for _, m := range ms {
 					re, err := regexp.Compile(m[1])
 					if err != nil {
-						t.Fatalf("%s: bad want regexp %q: %v", pos, m[1], err)
+						return nil, fmt.Errorf("%s: bad want regexp %q: %v", pos, m[1], err)
 					}
-					wants = append(wants, &want{re: re, line: pos.Line, file: pos.Filename})
+					w := &want{re: re, line: pos.Line, file: pos.Filename, suffix: suffix}
+					if suffix != "" {
+						w.file = ""
+					}
+					wants = append(wants, w)
 				}
 			}
 		}
@@ -65,19 +104,32 @@ func Run(t *testing.T, a *lint.Analyzer, dir, asPath string) {
 	for _, d := range diags {
 		matched := false
 		for _, w := range wants {
-			if !w.hit && w.line == d.Pos.Line && w.file == d.Pos.Filename && w.re.MatchString(d.Message) {
-				w.hit = true
-				matched = true
-				break
+			if w.hit || !w.re.MatchString(d.Message) {
+				continue
 			}
+			if w.suffix != "" {
+				if !strings.HasSuffix(d.Pos.Filename, w.suffix) {
+					continue
+				}
+			} else if w.line != d.Pos.Line || w.file != d.Pos.Filename {
+				continue
+			}
+			w.hit = true
+			matched = true
+			break
 		}
 		if !matched {
-			t.Errorf("unexpected finding: %s", d)
+			problems = append(problems, fmt.Sprintf("unexpected finding: %s", d))
 		}
 	}
 	for _, w := range wants {
 		if !w.hit {
-			t.Errorf("%s wanted a finding matching %q, got none", fmt.Sprintf("%s:%d", w.file, w.line), w.re)
+			where := fmt.Sprintf("%s:%d", w.file, w.line)
+			if w.suffix != "" {
+				where = "file ending " + w.suffix
+			}
+			problems = append(problems, fmt.Sprintf("%s wanted a finding matching %q, got none", where, w.re))
 		}
 	}
+	return problems, nil
 }

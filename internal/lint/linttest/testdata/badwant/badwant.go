@@ -1,0 +1,6 @@
+// Package badwant carries a malformed expectation: the want regexp
+// does not compile, which the harness must surface as a fatal error,
+// not a silent pass.
+package badwant
+
+var X = 1 // want `unclosed [`

@@ -1,0 +1,5 @@
+// Package broken does not type-check: the harness must report the
+// load failure instead of running the analyzer on garbage.
+package broken
+
+var Y = undefinedIdentifier

@@ -1,0 +1,6 @@
+// Package noregexp carries a want comment with no backquoted regexp
+// at all — an expectation that can never match anything is a typo,
+// and the harness must say so.
+package noregexp
+
+var Z = 2 // want a finding about Z

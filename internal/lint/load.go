@@ -22,6 +22,7 @@ import (
 // Package is one source-typechecked package ready for analysis.
 type Package struct {
 	Path  string
+	Dir   string
 	Fset  *token.FileSet
 	Files []*ast.File
 	Types *types.Package
@@ -121,7 +122,7 @@ func typecheck(fset *token.FileSet, imp types.Importer, importPath, dir string, 
 	if len(typeErrs) > 0 {
 		return nil, fmt.Errorf("typechecking %s: %v", importPath, typeErrs[0])
 	}
-	return &Package{Path: importPath, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+	return &Package{Path: importPath, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
 }
 
 // Load resolves the patterns with the go tool and typechecks every
@@ -220,5 +221,26 @@ func LoadDir(dir, asPath string) (*Package, error) {
 	if len(typeErrs) > 0 {
 		return nil, fmt.Errorf("typechecking %s: %v", dir, typeErrs[0])
 	}
-	return &Package{Path: asPath, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+	return &Package{Path: asPath, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// moduleRoot derives the on-disk module root from any loaded module
+// package whose directory actually ends in its import-path suffix
+// (testdata packages loaded under an assumed path do not, and are
+// skipped). Empty when no package qualifies.
+func moduleRoot(pkgs []*Package) string {
+	for _, p := range pkgs {
+		if p.Dir == "" || !pkgIs(p.Path, "tcpstall") {
+			continue
+		}
+		rel := strings.TrimPrefix(strings.TrimPrefix(p.Path, "tcpstall"), "/")
+		if rel == "" {
+			return p.Dir
+		}
+		suffix := string(filepath.Separator) + filepath.FromSlash(rel)
+		if root, ok := strings.CutSuffix(p.Dir, suffix); ok {
+			return root
+		}
+	}
+	return ""
 }

@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"tcpstall/internal/lint"
+	"tcpstall/internal/lint/linttest"
+)
+
+// TestLockorder seeds the fleet-shaped deadlock: two mutex-owning
+// types reaching into each other under their own locks (one cycle
+// report at its first edge), a self-reacquisition through a helper,
+// and the clean one-way/released/*Locked shapes as guards.
+func TestLockorder(t *testing.T) {
+	linttest.Run(t, lint.Lockorder, "testdata/lockorder/lo", "tcpstall/internal/fleet/lo")
+}

@@ -1,0 +1,283 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metricsreg audits the hand-rolled Prometheus exporters. The
+// exposition text in internal/live and internal/fleet is built from
+// string literals (`# TYPE …` headers, sample lines with fmt verbs
+// for the values), so the full metric surface is statically visible;
+// this analyzer collects it and enforces:
+//
+//   - family and label names match Prometheus syntax
+//     ([a-zA-Z_:][a-zA-Z0-9_:]*, labels without the colon);
+//   - `# TYPE` uses a legal metric type and no family is declared
+//     twice (within a package or across the two exporters);
+//   - every `# TYPE` has a `# HELP` and vice versa;
+//   - every sample line with a tapod_/tapoctl_/fleet_ family (after
+//     stripping _bucket/_sum/_count) belongs to a declared family —
+//     a string literal that IS exactly a family name (the
+//     writeHistogram call pattern) declares one;
+//   - the documented metric tables stay honest, both ways: every
+//     emitted family appears backticked in README.md/DESIGN.md, and
+//     every backticked tapod_/tapoctl_/fleet_ name in the docs is
+//     actually emitted. The docs direction only runs when every
+//     scope package is loaded, so partial runs cannot cry stale.
+var Metricsreg = &Analyzer{
+	Name:       "metricsreg",
+	Doc:        "exporter metric families: valid names, no duplicates, HELP/TYPE pairs, docs in sync",
+	RunProgram: runMetricsreg,
+}
+
+// Metricsreg seams for cmd/tapolint and tests: which packages hold
+// exporters, and which documents carry the metric tables (empty
+// means README.md and DESIGN.md at the module root).
+var (
+	MetricsregScope = []string{modulePkg("internal/live"), modulePkg("internal/fleet")}
+	MetricsregDocs  []string
+)
+
+var (
+	metricNameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe   = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+	typeLineRe    = regexp.MustCompile(`^# TYPE ([^ ]+) ([^ ]+)$`)
+	helpLineRe    = regexp.MustCompile(`^# HELP ([^ ]+) (.+)$`)
+	sampleLineRe  = regexp.MustCompile(`^([A-Za-z_:%][A-Za-z0-9_:%]*)(\{([^}]*)\})?[ ].*\S`)
+	docMetricRe   = regexp.MustCompile("`([a-zA-Z_:][a-zA-Z0-9_:]*)`")
+	metricsPrefix = []string{"tapod_", "tapoctl_", "fleet_"}
+)
+
+var promMetricTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true,
+}
+
+// metricFamily is one declared family with its declaration site.
+type metricFamily struct {
+	name string
+	pkg  *Package
+	pos  token.Pos
+}
+
+func runMetricsreg(pp *ProgramPass) error {
+	inScope := map[string]bool{}
+	for _, s := range MetricsregScope {
+		inScope[s] = true
+	}
+	var scoped []*Package
+	for _, pkg := range pp.Pkgs {
+		if inScope[pkg.Path] {
+			scoped = append(scoped, pkg)
+		}
+	}
+	if len(scoped) == 0 {
+		return nil
+	}
+
+	declared := map[string]metricFamily{} // family → first TYPE/indirect decl
+	helped := map[string]bool{}
+	type usage struct {
+		family string
+		pkg    *Package
+		pos    token.Pos
+	}
+	var uses []usage
+
+	for _, pkg := range scoped {
+		pkg := pkg
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				lit, ok := n.(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true
+				}
+				text, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					return true
+				}
+				// A literal that is exactly a family name is the
+				// indirect-declaration pattern: the name handed to a
+				// renderer like writeHistogram that emits its own
+				// HELP/TYPE through %s.
+				if hasMetricsPrefix(text) && metricNameRe.MatchString(text) {
+					if prev, dup := declared[text]; dup {
+						pp.Reportf(pkg, lit.Pos(), "metric family %s declared more than once (first at %s)",
+							text, prev.pkg.Fset.Position(prev.pos))
+					} else {
+						declared[text] = metricFamily{name: text, pkg: pkg, pos: lit.Pos()}
+						helped[text] = true // renderer emits HELP with the name
+					}
+					return true
+				}
+				for _, line := range strings.Split(text, "\n") {
+					line = strings.TrimSpace(line)
+					if line == "" {
+						continue
+					}
+					if m := typeLineRe.FindStringSubmatch(line); m != nil {
+						name, mtype := m[1], m[2]
+						if strings.Contains(name, "%") {
+							continue // renderer template; name checked at its call site
+						}
+						if !metricNameRe.MatchString(name) {
+							pp.Reportf(pkg, lit.Pos(), "invalid Prometheus metric name %q in TYPE line", name)
+							continue
+						}
+						if !promMetricTypes[mtype] {
+							pp.Reportf(pkg, lit.Pos(), "metric family %s has invalid type %q in TYPE line", name, mtype)
+						}
+						if prev, dup := declared[name]; dup {
+							pp.Reportf(pkg, lit.Pos(), "metric family %s declared more than once (first at %s)",
+								name, prev.pkg.Fset.Position(prev.pos))
+						} else {
+							declared[name] = metricFamily{name: name, pkg: pkg, pos: lit.Pos()}
+						}
+						continue
+					}
+					if m := helpLineRe.FindStringSubmatch(line); m != nil {
+						if !strings.Contains(m[1], "%") {
+							helped[m[1]] = true
+						}
+						continue
+					}
+					m := sampleLineRe.FindStringSubmatch(line)
+					if m == nil {
+						continue
+					}
+					name, labels := m[1], m[3]
+					if labels != "" {
+						checkLabels(pp, pkg, lit.Pos(), name, labels)
+					}
+					if strings.Contains(name, "%") || !hasMetricsPrefix(name) {
+						continue
+					}
+					if !metricNameRe.MatchString(name) {
+						pp.Reportf(pkg, lit.Pos(), "invalid Prometheus metric name %q in sample line", name)
+						continue
+					}
+					uses = append(uses, usage{family: sampleFamily(name), pkg: pkg, pos: lit.Pos()})
+				}
+				return true
+			})
+		}
+	}
+
+	for name, fam := range declared {
+		if !helped[name] {
+			pp.Reportf(fam.pkg, fam.pos, "metric family %s has a TYPE line but no HELP line", name)
+		}
+	}
+	reportedUndeclared := map[string]bool{}
+	for _, u := range uses {
+		if _, ok := declared[u.family]; !ok && !reportedUndeclared[u.family] {
+			reportedUndeclared[u.family] = true
+			pp.Reportf(u.pkg, u.pos, "sample line emits family %s with no # TYPE declaration", u.family)
+		}
+	}
+
+	// Docs cross-check: only meaningful over the full exporter set.
+	if len(scoped) != len(MetricsregScope) {
+		return nil
+	}
+	docs := MetricsregDocs
+	if docs == nil {
+		root := moduleRoot(pp.Pkgs)
+		if root == "" {
+			return nil
+		}
+		docs = []string{filepath.Join(root, "README.md"), filepath.Join(root, "DESIGN.md")}
+	}
+	type docRef struct {
+		pos token.Position
+	}
+	documented := map[string]docRef{}
+	for _, path := range docs {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("metricsreg: reading %s: %w", path, err)
+		}
+		for i, line := range strings.Split(string(raw), "\n") {
+			for _, m := range docMetricRe.FindAllStringSubmatch(line, -1) {
+				if !hasMetricsPrefix(m[1]) {
+					continue
+				}
+				if _, ok := documented[m[1]]; !ok {
+					documented[m[1]] = docRef{pos: token.Position{Filename: path, Line: i + 1}}
+				}
+			}
+		}
+	}
+	for _, name := range sortedFamilies(declared) {
+		if _, ok := documented[name]; !ok {
+			fam := declared[name]
+			pp.Reportf(fam.pkg, fam.pos,
+				"metric family %s is not documented in the README.md/DESIGN.md metric tables", name)
+		}
+	}
+	var docNames []string
+	for name := range documented {
+		docNames = append(docNames, name)
+	}
+	sort.Strings(docNames)
+	for _, name := range docNames {
+		if _, ok := declared[sampleFamily(name)]; !ok {
+			pp.ReportAt(documented[name].pos,
+				"docs mention metric family %s which no exporter emits", name)
+		}
+	}
+	return nil
+}
+
+func hasMetricsPrefix(s string) bool {
+	for _, p := range metricsPrefix {
+		if strings.HasPrefix(s, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// sampleFamily strips the histogram/summary sample suffixes so
+// tapod_x_bucket, _sum and _count all resolve to family tapod_x.
+func sampleFamily(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			return base
+		}
+	}
+	return name
+}
+
+func checkLabels(pp *ProgramPass, pkg *Package, pos token.Pos, family, labels string) {
+	for _, part := range strings.Split(labels, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, _, ok := strings.Cut(part, "=")
+		if !ok {
+			pp.Reportf(pkg, pos, "malformed label %q on metric %s", part, family)
+			continue
+		}
+		if !labelNameRe.MatchString(key) {
+			pp.Reportf(pkg, pos, "invalid Prometheus label name %q on metric %s", key, family)
+		}
+	}
+}
+
+func sortedFamilies(m map[string]metricFamily) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,22 @@
+package lint_test
+
+import (
+	"testing"
+
+	"tcpstall/internal/lint"
+	"tcpstall/internal/lint/linttest"
+)
+
+// TestMetricsreg scopes the analyzer to a seeded exporter package
+// with its own docs file: duplicate/orphaned TYPE lines, illegal
+// family and label names, samples for undeclared families, one
+// emitted-but-undocumented family, one documented-but-gone docs row,
+// and the indirect writeHistogram declaration pattern as a guard.
+func TestMetricsreg(t *testing.T) {
+	oldScope, oldDocs := lint.MetricsregScope, lint.MetricsregDocs
+	defer func() { lint.MetricsregScope, lint.MetricsregDocs = oldScope, oldDocs }()
+	lint.MetricsregScope = []string{"tcpstall/internal/live/mreg"}
+	lint.MetricsregDocs = []string{"testdata/metricsreg/docs.md"}
+
+	linttest.Run(t, lint.Metricsreg, "testdata/metricsreg/mreg", "tcpstall/internal/live/mreg")
+}

@@ -1,0 +1,68 @@
+// Package gx seeds goroutine-leak violations for goexit: unbounded
+// loops with no exit signal, ranges over channels nobody closes, and
+// launches the analyzer cannot resolve to a body — next to the
+// sanctioned long-lived shapes as false-positive guards.
+package gx
+
+import "time"
+
+func use(int)    {}
+func poll()      {}
+func work(int64) {}
+
+// Spin leaks: an unbounded loop with no done/ctx signal and no
+// conditional exit.
+func Spin() {
+	go func() { // want `no provable termination path`
+		for {
+			poll()
+		}
+	}()
+}
+
+// SpinTrue: `for true` is the same loop in a trenchcoat.
+func SpinTrue() {
+	go func() { // want `no provable termination path`
+		for true {
+			poll()
+		}
+	}()
+}
+
+// Keepalive is the SSE-heartbeat leak this analyzer exists for: the
+// ticker case never terminates the loop and nothing else can.
+func Keepalive() {
+	tick := time.NewTicker(time.Second)
+	go func() { // want `no provable termination path`
+		for {
+			select {
+			case <-tick.C:
+				poll()
+			}
+		}
+	}()
+}
+
+// orphan is never closed by anyone in the program.
+var orphan = make(chan int)
+
+// Drain leaks: the range blocks forever once senders stop.
+func Drain() {
+	go func() { // want `range over a channel`
+		for v := range orphan {
+			use(v)
+		}
+	}()
+}
+
+type server interface{ Serve() }
+
+// Opaque launches through an interface: no body to analyze.
+func Opaque(s server) {
+	go s.Serve() // want `no body in the analyzed program`
+}
+
+// Dyn launches a func value: not statically resolvable.
+func Dyn(fn func()) {
+	go fn() // want `not statically resolvable`
+}

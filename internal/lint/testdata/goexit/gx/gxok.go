@@ -1,0 +1,134 @@
+package gx
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// gxok.go: false-positive guards — every sanctioned long-lived
+// goroutine shape in the repo must pass.
+
+// CtxLoop selects on ctx.Done: the canonical long-lived shape.
+func CtxLoop(ctx context.Context, in chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-in:
+				use(v)
+			}
+		}
+	}()
+}
+
+// Workers is the bounded-counter idiom: a top-level conditional
+// return bounds the headerless loop.
+func Workers(n int64) {
+	var next atomic.Int64
+	for w := 0; w < 4; w++ {
+		go func() {
+			for {
+				i := next.Add(1) - 1
+				if i >= n {
+					return
+				}
+				work(i)
+			}
+		}()
+	}
+}
+
+// W owns its input channel and Close closes it, so run's receive is
+// a proven termination signal — ownership wired to shutdown.
+type W struct {
+	in chan int
+}
+
+func (w *W) run() {
+	for {
+		select {
+		case v, ok := <-w.in:
+			if !ok {
+				return
+			}
+			use(v)
+		}
+	}
+}
+
+// Start launches the named method; its body resolves cross-function.
+func (w *W) Start() { go w.run() }
+
+// Close terminates the run goroutine.
+func (w *W) Close() { close(w.in) }
+
+// Fanout ranges over a channel it closes itself: the close is in
+// view on the same local object.
+func Fanout(vals []int) {
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for v := range jobs {
+			use(v)
+		}
+	}()
+	for _, v := range vals {
+		jobs <- v
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// Burst: bounded loops need no signal at all.
+func Burst() {
+	go func() {
+		for i := 0; i < 100; i++ {
+			work(int64(i))
+		}
+	}()
+}
+
+// pump conditions its loop and selects on ctx: clean both ways.
+func pump(ctx context.Context, in chan int) {
+	for ctx.Err() == nil {
+		select {
+		case <-ctx.Done():
+			return
+		case v := <-in:
+			use(v)
+		}
+	}
+}
+
+// StartPump launches a named function with arguments.
+func StartPump(ctx context.Context, in chan int) {
+	go pump(ctx, in)
+}
+
+// Straightline goroutines with no loop terminate trivially.
+func Straightline(done chan struct{}) {
+	go func() {
+		poll()
+		close(done)
+	}()
+}
+
+// WaitThenSignal blocks on a done-like receive at loop top level.
+var stop = make(chan struct{})
+
+// StopAll closes stop, proving the bare receive below terminates.
+func StopAll() { close(stop) }
+
+// Sentinel parks until stop closes, looping around spurious wakeups.
+func Sentinel() {
+	go func() {
+		for {
+			<-stop
+			return
+		}
+	}()
+}

@@ -1,0 +1,49 @@
+// Package lo seeds a lock-order cycle shaped like the fleet head /
+// event ring pair: two mutex-owning types that each reach into the
+// other while holding their own lock. Either direction alone is a
+// legal nesting; together they deadlock two goroutines that take the
+// locks in opposite order.
+package lo
+
+import "sync"
+
+// A is the head-like side of the cycle.
+type A struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	b  *B
+}
+
+// B is the ring-like side.
+type B struct {
+	mu sync.RWMutex
+	m  int // guarded by mu
+	a  *A
+}
+
+// Bump locks A then reaches into B: the A.mu → B.mu half.
+func (a *A) Bump() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.n++
+	a.b.notify() // want `lock-order cycle`
+}
+
+func (b *B) notify() {
+	b.mu.Lock()
+	b.m++
+	b.mu.Unlock()
+}
+
+// Peek read-locks B then calls back into A: B.mu → A.mu closes it.
+func (b *B) Peek() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.a.count()
+}
+
+func (a *A) count() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.n
+}

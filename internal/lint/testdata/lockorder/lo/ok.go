@@ -1,0 +1,72 @@
+package lo
+
+import "sync"
+
+// ok.go: false-positive guards — consistent one-way nesting, locks
+// released before the next take, the *Locked convention, and
+// function-local mutexes must all stay clean.
+
+// Outer consistently nests Inner under its own lock.
+type Outer struct {
+	mu sync.Mutex
+	in *Inner
+}
+
+// Inner is always the second lock taken, never the first.
+type Inner struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// Touch and Reset both order Outer.mu → Inner.mu; a one-way edge,
+// however many sites contribute it, is not a cycle.
+func (o *Outer) Touch() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.in.bump()
+}
+
+func (o *Outer) Reset() {
+	o.mu.Lock()
+	o.in.bump()
+	o.mu.Unlock()
+}
+
+func (i *Inner) bump() {
+	i.mu.Lock()
+	i.n++
+	i.mu.Unlock()
+}
+
+// After takes Inner.mu only once Outer.mu is released: a plain
+// Unlock drops the hold, so no Inner → Outer edge exists.
+func (i *Inner) After(o *Outer) {
+	o.mu.Lock()
+	o.mu.Unlock()
+	i.mu.Lock()
+	i.n++
+	i.mu.Unlock()
+}
+
+// addLocked is entered holding Inner.mu by convention; it takes no
+// further lock, so the seed contributes no edge.
+func (i *Inner) addLocked(v int) {
+	i.n += v
+}
+
+// Feed routes through the *Locked convention the way the fleet
+// head's publishLocked does — still strictly one-way.
+func (i *Inner) Feed(v int) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.addLocked(v)
+}
+
+// Scratch uses a function-local mutex, which cannot participate in a
+// cross-function ordering cycle.
+func Scratch() int {
+	var mu sync.Mutex
+	mu.Lock()
+	defer mu.Unlock()
+	return 1
+}

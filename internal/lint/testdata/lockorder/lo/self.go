@@ -1,0 +1,26 @@
+package lo
+
+import "sync"
+
+// S re-enters its own non-reentrant lock through a helper: the
+// single-goroutine deadlock, reported as a self-edge cycle.
+type S struct {
+	mu    sync.Mutex
+	items []int // guarded by mu
+}
+
+// Add holds mu (deferred unlock) across a call that locks mu again.
+func (s *S) Add(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items = append(s.items, v)
+	if s.size() > 8 { // want `lock-order cycle`
+		s.items = s.items[1:]
+	}
+}
+
+func (s *S) size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.items)
+}

@@ -1,0 +1,69 @@
+// Package mreg seeds exporter drift for metricsreg: duplicate and
+// orphaned TYPE lines, illegal family/label names, samples for
+// undeclared families, and an emitted family the docs never mention
+// — interleaved with clean, documented families as false-positive
+// guards. The paired docs file (docs.md) carries one stale row.
+package mreg
+
+import "fmt"
+
+// sink collects exposition lines like the real exporters' printf
+// helper does.
+var sink []string
+
+func p(format string, args ...any) { sink = append(sink, fmt.Sprintf(format, args...)) }
+
+// Emit renders the seeded exposition surface.
+func Emit() {
+	// Clean, documented family: a false-positive guard.
+	p("# HELP tapod_mreg_flows_active Active flows.\n")
+	p("# TYPE tapod_mreg_flows_active gauge\n")
+	p("tapod_mreg_flows_active %d\n", 4)
+
+	// Labeled clean family.
+	p("# HELP tapod_mreg_drops_total Dropped records by reason.\n")
+	p("# TYPE tapod_mreg_drops_total counter\n")
+	p("tapod_mreg_drops_total{reason=%q} %d\n", "ring", 2)
+
+	// Declared twice: the second TYPE is drift.
+	p("# TYPE tapod_mreg_flows_active gauge\n") // want `declared more than once`
+
+	// TYPE with no HELP anywhere.
+	p("# TYPE tapod_mreg_orphan_total counter\n") // want `no HELP line`
+	p("tapod_mreg_orphan_total %d\n", 3)
+
+	// Illegal family name.
+	p("# TYPE tapod_mreg-bad gauge\n") // want `invalid Prometheus metric name`
+
+	// Illegal metric type.
+	p("# TYPE tapod_mreg_wrong_kind gaugee\n") // want `invalid type`
+	p("# HELP tapod_mreg_wrong_kind Typo'd type keeps the family.\n")
+
+	// Illegal label name on a declared family.
+	p("tapod_mreg_drops_total{bad-label=%q} %d\n", "x", 1) // want `invalid Prometheus label name`
+
+	// Sample with no declaration anywhere.
+	p("tapod_mreg_ghost_total %d\n", 9) // want `no # TYPE declaration`
+
+	// Emitted but absent from the docs tables.
+	p("# HELP tapod_mreg_secret_total Not in the docs.\n")
+	p("# TYPE tapod_mreg_secret_total counter\n") // want `not documented`
+	p("tapod_mreg_secret_total %d\n", 7)
+
+	// Indirect declaration: the writeHistogram renderer pattern, where
+	// the family name only ever appears as a plain argument literal.
+	writeHist(p, "tapod_mreg_lat_ms")
+}
+
+// writeHist mirrors live.writeHistogram: HELP/TYPE through %s.
+func writeHist(w func(string, ...any), name string) {
+	w("# HELP %s Latency distribution.\n", name)
+	w("# TYPE %s histogram\n", name)
+	w("%s_bucket{le=%q} %d\n", name, "1", 1)
+	w("%s_sum %d\n", name, 1)
+	w("%s_count %d\n", name, 1)
+}
+
+// The paired docs file documents every family above except the
+// secret one, plus one row for an exporter that no longer exists:
+// want@docs.md `docs mention metric family tapod_mreg_gone_total`

@@ -1,0 +1,27 @@
+// Package fleet drifts from the frozen ok/ snapshot without bumping
+// WireVersion: a renamed/retyped counter field and a brand-new struct
+// grafted onto the root. Both must surface as findings.
+package fleet
+
+// WireVersion was NOT bumped for the drift below.
+const WireVersion = 1
+
+// Snapshot grew a field, changing its fingerprint.
+type Snapshot struct { // want `changed .* without regenerating`
+	Version  int            `json:"version"`
+	MemberID string         `json:"member_id"`
+	Stalls   []StallCounter `json:"stalls,omitempty"`
+	Extra    *Extra         `json:"extra,omitempty"`
+}
+
+// StallCounter renamed Count to Total — the mixed-version poison.
+type StallCounter struct { // want `changed .* without regenerating`
+	Service string `json:"service"`
+	Cause   string `json:"cause"`
+	Total   uint64 `json:"total"`
+}
+
+// Extra is new wire surface the snapshot has never seen.
+type Extra struct { // want `new \(or renamed\)`
+	Note string `json:"note"`
+}

@@ -1,0 +1,23 @@
+// Package fleet mirrors the wire-surface shape for wirefreeze tests:
+// a versioned root struct reaching a nested cell type. The test
+// freezes this package into a snapshot, then checks it clean — the
+// false-positive guard — and checks the drifted siblings against the
+// same snapshot.
+package fleet
+
+// WireVersion gates the protocol, as in the real internal/fleet.
+const WireVersion = 1
+
+// Snapshot is the frozen root.
+type Snapshot struct {
+	Version  int            `json:"version"`
+	MemberID string         `json:"member_id"`
+	Stalls   []StallCounter `json:"stalls,omitempty"`
+}
+
+// StallCounter is one (service, cause) cell.
+type StallCounter struct {
+	Service string `json:"service"`
+	Cause   string `json:"cause"`
+	Count   uint64 `json:"count"`
+}

@@ -1,0 +1,21 @@
+// Package fleet bumps WireVersion without regenerating the snapshot:
+// the fields still fingerprint identically to ok/, so the only drift
+// is the version constant itself — which must still be a finding, or
+// a bump could silently ride along with nothing recorded.
+package fleet
+
+const WireVersion = 2 // want `snapshot was taken at`
+
+// Snapshot is byte-for-byte the ok/ shape.
+type Snapshot struct {
+	Version  int            `json:"version"`
+	MemberID string         `json:"member_id"`
+	Stalls   []StallCounter `json:"stalls,omitempty"`
+}
+
+// StallCounter is byte-for-byte the ok/ shape.
+type StallCounter struct {
+	Service string `json:"service"`
+	Cause   string `json:"cause"`
+	Count   uint64 `json:"count"`
+}
